@@ -1,0 +1,41 @@
+// Shared configuration for the paper-artifact benchmark binaries.
+#pragma once
+
+#include "core/experiment.hpp"
+#include "core/models.hpp"
+#include "core/params.hpp"
+#include "energy/power_state.hpp"
+#include "util/cli.hpp"
+
+namespace wsn::bench {
+
+/// Paper Table 2: 1000 s horizon, lambda = 1/s, mean service 0.1 s
+/// (see DESIGN.md section 5 for the Table 2 reading).
+inline core::CpuParams PaperParams() {
+  core::CpuParams p;
+  p.arrival_rate = 1.0;
+  p.service_rate = 10.0;
+  p.power_down_threshold = 0.1;
+  p.power_up_delay = 0.001;
+  return p;
+}
+
+/// Simulation effort knobs, overridable from the command line:
+///   --sim-time, --replications, --seed, --points (sweep resolution).
+inline core::EvalConfig ConfigFromArgs(const util::CliArgs& args) {
+  core::EvalConfig cfg;
+  cfg.sim_time = args.GetDouble("sim-time", 1000.0);
+  cfg.replications =
+      static_cast<std::size_t>(args.GetInt("replications", 24));
+  cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2008));
+  return cfg;
+}
+
+inline std::size_t SweepPoints(const util::CliArgs& args) {
+  return static_cast<std::size_t>(args.GetInt("points", 11));
+}
+
+/// The paper evaluates energy over the 1000 s simulated horizon.
+inline constexpr double kEnergyHorizonSeconds = 1000.0;
+
+}  // namespace wsn::bench

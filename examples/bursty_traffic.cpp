@@ -1,0 +1,78 @@
+// Burstiness study: the paper's models assume Poisson arrivals, but WSN
+// traffic is often event-triggered and bursty.  This example keeps the
+// mean arrival rate fixed and varies the arrival process (Poisson, MMPP
+// quiet/storm phases, batch renewals), simulating the same CPU to show
+// how burstiness shifts the energy/latency picture — and why the open
+// workload generator is a first-class part of the model.
+//
+//   ./bursty_traffic [--rate 1.0] [--pdt 0.1] [--pud 0.05] [--sim-time 20000]
+#include <iostream>
+#include <memory>
+
+#include "des/bursty_workload.hpp"
+#include "des/cpu_model.hpp"
+#include "energy/energy_model.hpp"
+#include "energy/power_state.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsn;
+  const util::CliArgs args(argc, argv);
+  const double rate = args.GetDouble("rate", 1.0);
+
+  des::CpuModelConfig cfg;
+  cfg.arrival_rate = rate;
+  cfg.mean_service_time = 0.1;
+  cfg.power_down_threshold = args.GetDouble("pdt", 0.1);
+  cfg.power_up_delay = args.GetDouble("pud", 0.05);
+  cfg.sim_time = args.GetDouble("sim-time", 20000.0);
+
+  struct Scenario {
+    std::string label;
+    std::unique_ptr<des::Workload> workload;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"poisson", des::MakePoissonWorkload(rate)});
+  // Quiet/storm MMPP with the same long-run rate: equal dwell in phases
+  // at rate/5 and 9*rate/5 (mean = rate).
+  scenarios.push_back(
+      {"mmpp quiet/storm",
+       std::make_unique<des::MmppWorkload>(
+           std::vector<double>{rate / 5.0, 9.0 * rate / 5.0},
+           std::vector<std::vector<double>>{{-0.05, 0.05}, {0.05, -0.05}})});
+  // Batches of 4 at a quarter of the renewal rate.
+  scenarios.push_back(
+      {"batch x4", std::make_unique<des::BatchRenewalWorkload>(
+                       util::Distribution(util::Exponential{rate / 4.0}), 4)});
+
+  const auto pxa = energy::Pxa271();
+  std::cout << "Burstiness study: mean rate " << rate << " jobs/s, PDT = "
+            << cfg.power_down_threshold << " s, PUD = " << cfg.power_up_delay
+            << " s, horizon " << cfg.sim_time << " s\n\n";
+
+  util::TextTable out({"workload", "standby%", "idle%", "active%",
+                       "energy(J/1000s)", "mean latency(s)", "jobs done"});
+  for (auto& scenario : scenarios) {
+    des::CpuSimulation sim(cfg, 42, std::move(scenario.workload));
+    const des::CpuRunResult r = sim.Run();
+    const double energy_per_1000s =
+        energy::EnergyFromTimesJoules(r.time_standby, r.time_powerup,
+                                      r.time_idle, r.time_active, pxa) /
+        cfg.sim_time * 1000.0;
+    out.AddRow({scenario.label,
+                util::FormatFixed(r.FractionStandby() * 100.0, 2),
+                util::FormatFixed(r.FractionIdle() * 100.0, 2),
+                util::FormatFixed(r.FractionActive() * 100.0, 2),
+                util::FormatFixed(energy_per_1000s, 2),
+                util::FormatFixed(r.latency.Mean(), 4),
+                std::to_string(r.jobs_completed)});
+  }
+  std::cout << out.Render();
+  std::cout << "\nReading: bursty arrivals concentrate work, so the CPU "
+               "sleeps more (lower energy) but queues deeper (higher "
+               "latency) — the power-management sweet spot moves with the "
+               "traffic shape, which is why the model library exposes the "
+               "workload generator as a first-class component.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Using the Petri-net library directly (beyond the paper's CPU model):
+// build an M/M/1/K queueing net, analyze it structurally (invariants,
+// reachability), solve it exactly, simulate it, and compare both against
+// the textbook closed form.  Also exports the net as Graphviz DOT.
+//
+//   ./custom_petri_net [--lambda 0.8] [--mu 1.0] [--capacity 6] [--dot]
+#include <iostream>
+
+#include "markov/mm1.hpp"
+#include "petri/ctmc_solver.hpp"
+#include "petri/dot.hpp"
+#include "petri/invariants.hpp"
+#include "petri/reachability.hpp"
+#include "petri/simulation.hpp"
+#include "petri/standard_nets.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsn;
+  const util::CliArgs args(argc, argv);
+  const double lambda = args.GetDouble("lambda", 0.8);
+  const double mu = args.GetDouble("mu", 1.0);
+  const auto capacity =
+      static_cast<std::uint32_t>(args.GetInt("capacity", 6));
+
+  const petri::PetriNet net = petri::MakeMm1kNet(lambda, mu, capacity);
+  std::cout << "M/M/1/" << capacity << " as a stochastic Petri net (lambda="
+            << lambda << ", mu=" << mu << ")\n\n";
+
+  if (args.GetBool("dot")) {
+    std::cout << petri::ToDot(net, "mm1k") << "\n";
+  }
+
+  // Structural analysis.
+  const petri::ReachabilityGraph rg = petri::ExploreReachability(net);
+  std::cout << "Reachable markings: " << rg.Size()
+            << " (bound = " << rg.MaxTokens() << " tokens)\n";
+  const auto t_invs = petri::TransitionInvariants(net);
+  std::cout << "T-invariants: " << t_invs.size()
+            << " (arrive+serve cycles back to the same marking)\n\n";
+
+  // Exact numerical solution vs token-game simulation vs closed form.
+  const petri::SpnSteadyState exact = petri::SolveSteadyState(net);
+  petri::SimulationConfig sim_cfg;
+  sim_cfg.horizon = 20000.0;
+  sim_cfg.warmup = 500.0;
+  const petri::SimulationResult sim = petri::SimulateSpn(net, sim_cfg);
+  const markov::Mm1k ref{lambda, mu, capacity};
+
+  const auto queue = net.PlaceByName("queue");
+  const auto serve = net.TransitionByName("serve");
+  util::TextTable out({"metric", "closed form", "SPN solver", "SPN sim"});
+  out.AddRow({"mean jobs", util::FormatFixed(ref.MeanJobs(), 4),
+              util::FormatFixed(exact.mean_tokens[queue], 4),
+              util::FormatFixed(sim.mean_tokens[queue], 4)});
+  // Simulation utilization via flow balance: busy fraction = X_serve / mu.
+  out.AddRow({"utilization", util::FormatFixed(ref.Utilization(), 4),
+              util::FormatFixed(exact.prob_nonempty[queue], 4),
+              util::FormatFixed(sim.throughput[serve] / mu, 4)});
+  out.AddRow({"throughput", util::FormatFixed(ref.Throughput(), 4),
+              util::FormatFixed(exact.throughput[serve], 4),
+              util::FormatFixed(sim.throughput[serve], 4)});
+  out.AddRow({"blocking prob",
+              util::FormatFixed(ref.BlockingProbability(), 4),
+              util::FormatFixed(1.0 - exact.throughput[serve] / lambda, 4),
+              util::FormatFixed(1.0 - sim.throughput[serve] / lambda, 4)});
+  std::cout << out.Render();
+  std::cout << "\nThe solver column is exact (tangible reachability -> CTMC "
+               "-> LU); the simulation column converges to it as the "
+               "horizon grows.\n";
+  return 0;
+}

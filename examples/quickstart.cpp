@@ -1,0 +1,50 @@
+// Quickstart: evaluate the paper's CPU with all three models at one
+// parameter point and print state shares, energy and latency.
+//
+//   ./quickstart [--lambda 1] [--service-time 0.1] [--pdt 0.1]
+//                [--pud 0.001] [--sim-time 1000] [--replications 16]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/models.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wsn;
+  const util::CliArgs args(argc, argv);
+
+  core::CpuParams params;
+  params.arrival_rate = args.GetDouble("lambda", 1.0);
+  params.service_rate = 1.0 / args.GetDouble("service-time", 0.1);
+  params.power_down_threshold = args.GetDouble("pdt", 0.1);
+  params.power_up_delay = args.GetDouble("pud", 0.001);
+
+  core::EvalConfig cfg;
+  cfg.sim_time = args.GetDouble("sim-time", 1000.0);
+  cfg.replications = static_cast<std::size_t>(args.GetInt("replications", 16));
+
+  std::cout << "CPU energy model quickstart\n"
+            << "  lambda = " << params.arrival_rate << " jobs/s, mean service "
+            << params.MeanServiceTime() << " s (rho = " << params.Rho()
+            << ")\n  Power Down Threshold = " << params.power_down_threshold
+            << " s, Power Up Delay = " << params.power_up_delay << " s\n\n";
+
+  const auto pxa = energy::Pxa271();
+  util::TextTable out({"model", "standby%", "powerup%", "idle%", "active%",
+                       "energy(J/1000s)", "mean latency(s)"});
+  for (const auto& model : core::MakePaperModels(cfg)) {
+    const core::ModelEvaluation eval = model->Evaluate(params);
+    out.AddRow({model->Name(), util::FormatFixed(eval.shares.standby * 100, 2),
+                util::FormatFixed(eval.shares.powerup * 100, 2),
+                util::FormatFixed(eval.shares.idle * 100, 2),
+                util::FormatFixed(eval.shares.active * 100, 2),
+                util::FormatFixed(core::EnergyJoules(eval, pxa, 1000.0), 2),
+                util::FormatFixed(eval.mean_latency, 4)});
+  }
+  std::cout << out.Render();
+  std::cout << "\nPower table: " << pxa.name << " (standby " << pxa.standby_mw
+            << " mW, idle " << pxa.idle_mw << " mW, powerup "
+            << pxa.powerup_mw << " mW, active " << pxa.active_mw << " mW)\n";
+  return 0;
+}

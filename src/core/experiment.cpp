@@ -1,0 +1,106 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsn::core {
+
+using util::Require;
+
+std::vector<double> LinearSpace(double lo, double hi, std::size_t count) {
+  Require(count >= 2, "need at least two sweep points");
+  Require(hi > lo, "sweep range must be non-empty");
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(count - 1);
+  }
+  return out;
+}
+
+std::vector<double> PaperPdtGrid(std::size_t count, double eps) {
+  std::vector<double> grid = LinearSpace(0.0, 1.0, count);
+  if (grid[0] == 0.0) grid[0] = eps;
+  return grid;
+}
+
+SweepSeries SweepPowerDownThreshold(const CpuEnergyModel& model,
+                                    CpuParams base,
+                                    const std::vector<double>& pdt_values,
+                                    const energy::PowerStateTable& table,
+                                    double energy_horizon) {
+  SweepSeries series;
+  series.model_name = model.Name();
+  series.points.reserve(pdt_values.size());
+  for (double pdt : pdt_values) {
+    SweepPoint point;
+    point.params = base;
+    point.params.power_down_threshold = pdt;
+    point.eval = model.Evaluate(point.params);
+    point.energy_joules = EnergyJoules(point.eval, table, energy_horizon);
+    series.points.push_back(std::move(point));
+  }
+  return series;
+}
+
+double MeanAbsoluteShareDeltaPct(const SweepSeries& a, const SweepSeries& b) {
+  Require(a.points.size() == b.points.size() && !a.points.empty(),
+          "series must align");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    const auto& sa = a.points[i].eval.shares;
+    const auto& sb = b.points[i].eval.shares;
+    acc += std::abs(sa.standby - sb.standby) +
+           std::abs(sa.powerup - sb.powerup) +
+           std::abs(sa.idle - sb.idle) + std::abs(sa.active - sb.active);
+  }
+  // Average over points and the four states; scale to percentage points.
+  return acc / (4.0 * static_cast<double>(a.points.size())) * 100.0;
+}
+
+double MeanAbsoluteEnergyDelta(const SweepSeries& a, const SweepSeries& b) {
+  Require(a.points.size() == b.points.size() && !a.points.empty(),
+          "series must align");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    acc += std::abs(a.points[i].energy_joules - b.points[i].energy_joules);
+  }
+  return acc / static_cast<double>(a.points.size());
+}
+
+DeltaTables ComputeDeltaTables(
+    const CpuEnergyModel& sim, const CpuEnergyModel& markov,
+    const CpuEnergyModel& pn, CpuParams base,
+    const std::vector<double>& pud_values,
+    const std::vector<double>& pdt_values,
+    const energy::PowerStateTable& table, double energy_horizon) {
+  DeltaTables tables;
+  for (double pud : pud_values) {
+    CpuParams params = base;
+    params.power_up_delay = pud;
+    const SweepSeries s_sim = SweepPowerDownThreshold(
+        sim, params, pdt_values, table, energy_horizon);
+    const SweepSeries s_markov = SweepPowerDownThreshold(
+        markov, params, pdt_values, table, energy_horizon);
+    const SweepSeries s_pn = SweepPowerDownThreshold(
+        pn, params, pdt_values, table, energy_horizon);
+
+    DeltaRow shares;
+    shares.power_up_delay = pud;
+    shares.sim_markov = MeanAbsoluteShareDeltaPct(s_sim, s_markov);
+    shares.sim_pn = MeanAbsoluteShareDeltaPct(s_sim, s_pn);
+    shares.markov_pn = MeanAbsoluteShareDeltaPct(s_markov, s_pn);
+    tables.share_deltas.push_back(shares);
+
+    DeltaRow energy;
+    energy.power_up_delay = pud;
+    energy.sim_markov = MeanAbsoluteEnergyDelta(s_sim, s_markov);
+    energy.sim_pn = MeanAbsoluteEnergyDelta(s_sim, s_pn);
+    energy.markov_pn = MeanAbsoluteEnergyDelta(s_markov, s_pn);
+    tables.energy_deltas.push_back(energy);
+  }
+  return tables;
+}
+
+}  // namespace wsn::core

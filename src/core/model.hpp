@@ -1,0 +1,40 @@
+// The common interface all CPU energy models implement — the paper's
+// comparison (simulation vs Markov vs Petri net) is a loop over these.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/params.hpp"
+#include "energy/energy_model.hpp"
+#include "energy/power_state.hpp"
+
+namespace wsn::core {
+
+/// What each model predicts for one parameter point.
+struct ModelEvaluation {
+  energy::StateShares shares;   ///< steady-state fraction per power state
+  double mean_jobs = 0.0;       ///< E[jobs in system] (0 when unavailable)
+  double mean_latency = 0.0;    ///< E[sojourn] seconds (0 when unavailable)
+  double share_ci_halfwidth = 0.0;  ///< 95% CI half-width (simulation only)
+};
+
+class CpuEnergyModel {
+ public:
+  virtual ~CpuEnergyModel() = default;
+
+  /// Evaluate the model at `params`.
+  virtual ModelEvaluation Evaluate(const CpuParams& params) const = 0;
+
+  /// Short identifier ("simulation", "markov", "petri-net", ...).
+  virtual std::string Name() const = 0;
+};
+
+/// Paper Eq. 25 on a model's predicted shares.
+inline double EnergyJoules(const ModelEvaluation& eval,
+                           const energy::PowerStateTable& table,
+                           double seconds) {
+  return energy::TotalEnergyJoules(eval.shares, table, seconds);
+}
+
+}  // namespace wsn::core

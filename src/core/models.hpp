@@ -1,0 +1,94 @@
+// The concrete CPU energy models the paper compares, all behind the
+// CpuEnergyModel interface:
+//
+//   SimulationCpuModel  — discrete-event simulation (the paper's Matlab
+//                         simulator, rebuilt on our DES kernel); treated
+//                         as ground truth.
+//   MarkovCpuModel      — closed-form supplementary-variable solution
+//                         (paper Section 4.1).
+//   PetriNetCpuModel    — token-game simulation of the Fig. 3 EDSPN
+//                         (the paper's TimeNET run, rebuilt on our SPN
+//                         engine).
+//
+// Two additional solvers beyond the paper (used in ablations):
+//
+//   StagesMarkovCpuModel — method-of-stages CTMC with Erlang-k expanded
+//                          deterministic delays, solved numerically.
+//   PetriSolverCpuModel  — the same Fig. 3 net, solved numerically by
+//                          stage expansion instead of simulation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/cpu_petri_net.hpp"
+#include "core/model.hpp"
+
+namespace wsn::core {
+
+class SimulationCpuModel final : public CpuEnergyModel {
+ public:
+  explicit SimulationCpuModel(EvalConfig config) : config_(config) {}
+  ModelEvaluation Evaluate(const CpuParams& params) const override;
+  std::string Name() const override { return "simulation"; }
+
+ private:
+  EvalConfig config_;
+};
+
+class MarkovCpuModel final : public CpuEnergyModel {
+ public:
+  ModelEvaluation Evaluate(const CpuParams& params) const override;
+  std::string Name() const override { return "markov"; }
+};
+
+class PetriNetCpuModel final : public CpuEnergyModel {
+ public:
+  explicit PetriNetCpuModel(EvalConfig config) : config_(config) {}
+  ModelEvaluation Evaluate(const CpuParams& params) const override;
+  std::string Name() const override { return "petri-net"; }
+
+ private:
+  EvalConfig config_;
+};
+
+class StagesMarkovCpuModel final : public CpuEnergyModel {
+ public:
+  /// `stages` = Erlang-k per deterministic delay (1 = naive exponential).
+  explicit StagesMarkovCpuModel(std::size_t stages) : stages_(stages) {}
+  ModelEvaluation Evaluate(const CpuParams& params) const override;
+  std::string Name() const override {
+    return "markov-stages-k" + std::to_string(stages_);
+  }
+
+ private:
+  std::size_t stages_;
+};
+
+class PetriSolverCpuModel final : public CpuEnergyModel {
+ public:
+  explicit PetriSolverCpuModel(std::size_t stages) : stages_(stages) {}
+  ModelEvaluation Evaluate(const CpuParams& params) const override;
+  std::string Name() const override {
+    return "petri-solver-k" + std::to_string(stages_);
+  }
+
+ private:
+  std::size_t stages_;
+};
+
+/// Exact DSPN solution of the Fig. 3 net (embedded Markov chain with
+/// subordinated-CTMC transients) — no Erlang approximation, no sampling
+/// noise.  The strongest evaluation method in this library; the paper's
+/// EDSPN satisfies the one-deterministic-at-a-time solvability condition.
+class DspnExactCpuModel final : public CpuEnergyModel {
+ public:
+  ModelEvaluation Evaluate(const CpuParams& params) const override;
+  std::string Name() const override { return "petri-dspn-exact"; }
+};
+
+/// The paper's three-way comparison set, in presentation order.
+std::vector<std::unique_ptr<CpuEnergyModel>> MakePaperModels(
+    const EvalConfig& config);
+
+}  // namespace wsn::core

@@ -1,0 +1,246 @@
+#include "des/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wsn::des {
+
+using util::Require;
+
+namespace {
+
+struct HeapEntry {
+  double time;
+  EventId id;
+
+  // Min-ordering: earliest time first, then lowest id (FIFO).
+  bool operator>(const HeapEntry& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return id > other.id;
+  }
+};
+
+class BinaryHeapEventQueue final : public EventQueue {
+ public:
+  void Push(double time, EventId id) override {
+    heap_.push({time, id});
+    live_.insert(id);
+  }
+
+  bool Empty() const override { return live_.empty(); }
+
+  QueuedEvent PopMin() override {
+    SkipCancelled();
+    Require(!heap_.empty(), "PopMin on empty event queue");
+    const HeapEntry e = heap_.top();
+    heap_.pop();
+    live_.erase(e.id);
+    return {e.time, e.id};
+  }
+
+  QueuedEvent PeekMin() override {
+    SkipCancelled();
+    Require(!heap_.empty(), "PeekMin on empty event queue");
+    const HeapEntry e = heap_.top();
+    return {e.time, e.id};
+  }
+
+  bool Cancel(EventId id) override {
+    // Lazy deletion: drop from the live set now, skip the heap entry when
+    // it surfaces at the top.
+    if (live_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    return true;
+  }
+
+  std::size_t Size() const override { return live_.size(); }
+
+  std::string Name() const override { return "binary-heap"; }
+
+ private:
+  void SkipCancelled() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+struct SetEntry {
+  double time;
+  EventId id;
+
+  bool operator<(const SetEntry& other) const noexcept {
+    if (time != other.time) return time < other.time;
+    return id < other.id;
+  }
+};
+
+class SortedListEventQueue final : public EventQueue {
+ public:
+  void Push(double time, EventId id) override { set_.insert({time, id}); }
+
+  bool Empty() const override { return set_.empty(); }
+
+  QueuedEvent PopMin() override {
+    Require(!set_.empty(), "PopMin on empty event queue");
+    const SetEntry e = *set_.begin();
+    set_.erase(set_.begin());
+    return {e.time, e.id};
+  }
+
+  QueuedEvent PeekMin() override {
+    Require(!set_.empty(), "PeekMin on empty event queue");
+    const SetEntry e = *set_.begin();
+    return {e.time, e.id};
+  }
+
+  bool Cancel(EventId id) override {
+    // Eager: linear scan is acceptable because cancellations in our models
+    // target near-future timers; kept simple by design.
+    for (auto it = set_.begin(); it != set_.end(); ++it) {
+      if (it->id == id) {
+        set_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t Size() const override { return set_.size(); }
+
+  std::string Name() const override { return "sorted-list"; }
+
+ private:
+  std::set<SetEntry> set_;
+};
+
+class CalendarEventQueue final : public EventQueue {
+ public:
+  CalendarEventQueue(std::size_t buckets, double width)
+      : width_(width), buckets_(buckets) {
+    Require(buckets >= 1 && width > 0.0, "calendar queue parameters invalid");
+  }
+
+  void Push(double time, EventId id) override {
+    buckets_[BucketOf(time)].insert({time, id});
+    ++size_;
+    MaybeResize();
+  }
+
+  bool Empty() const override { return size_ == 0; }
+
+  QueuedEvent PopMin() override {
+    Require(size_ > 0, "PopMin on empty event queue");
+    const std::size_t b = FindMinBucket();
+    const SetEntry e = *buckets_[b].begin();
+    buckets_[b].erase(buckets_[b].begin());
+    --size_;
+    last_time_ = e.time;
+    return {e.time, e.id};
+  }
+
+  QueuedEvent PeekMin() override {
+    Require(size_ > 0, "PeekMin on empty event queue");
+    const std::size_t b = FindMinBucket();
+    const SetEntry e = *buckets_[b].begin();
+    return {e.time, e.id};
+  }
+
+  bool Cancel(EventId id) override {
+    for (auto& bucket : buckets_) {
+      for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+        if (it->id == id) {
+          bucket.erase(it);
+          --size_;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::size_t Size() const override { return size_; }
+
+  std::string Name() const override { return "calendar"; }
+
+ private:
+  std::size_t BucketOf(double time) const noexcept {
+    const double virt = std::max(time, 0.0) / width_;
+    return static_cast<std::size_t>(virt) % buckets_.size();
+  }
+
+  std::size_t FindMinBucket() const {
+    // Scan the calendar year starting at the bucket of the last dequeue,
+    // falling back to a global min scan when the year is sparse.
+    std::size_t best = buckets_.size();
+    double best_time = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].empty()) continue;
+      const double t = buckets_[i].begin()->time;
+      if (best == buckets_.size() || t < best_time ||
+          (t == best_time && buckets_[i].begin()->id <
+                                 buckets_[best].begin()->id)) {
+        best = i;
+        best_time = t;
+      }
+    }
+    return best;
+  }
+
+  void MaybeResize() {
+    if (size_ <= buckets_.size() * 4) return;
+    std::vector<std::set<SetEntry>> old = std::move(buckets_);
+    buckets_.assign(old.size() * 2, {});
+    for (auto& bucket : old) {
+      for (const SetEntry& e : bucket) {
+        buckets_[BucketOf(e.time)].insert(e);
+      }
+    }
+  }
+
+  double width_;
+  double last_time_ = 0.0;
+  std::vector<std::set<SetEntry>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<EventQueue> MakeBinaryHeapQueue() {
+  return std::make_unique<BinaryHeapEventQueue>();
+}
+
+std::unique_ptr<EventQueue> MakeSortedListQueue() {
+  return std::make_unique<SortedListEventQueue>();
+}
+
+std::unique_ptr<EventQueue> MakeCalendarQueue(std::size_t initial_buckets,
+                                              double bucket_width) {
+  return std::make_unique<CalendarEventQueue>(initial_buckets, bucket_width);
+}
+
+std::unique_ptr<EventQueue> MakeQueue(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kBinaryHeap: return MakeBinaryHeapQueue();
+    case QueueKind::kSortedList: return MakeSortedListQueue();
+    case QueueKind::kCalendar: return MakeCalendarQueue();
+  }
+  return MakeBinaryHeapQueue();
+}
+
+}  // namespace wsn::des

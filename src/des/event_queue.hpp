@@ -1,0 +1,70 @@
+// Pending-event set implementations for the DES kernel.
+//
+// The kernel needs: insert (time, payload), extract-min by (time, seq),
+// and cancellation.  Ties break FIFO via a monotone sequence number so
+// simultaneous events (immediate chains, zero delays) process in schedule
+// order — a documented, deterministic semantics.
+//
+// Three interchangeable structures are provided; the binary heap is the
+// default, the others exist for the scheduling-structure ablation bench:
+//   * BinaryHeapEventQueue — lazy-deletion d-ary (d=2) heap, O(log n).
+//   * SortedListEventQueue — std::multiset, O(log n) with bigger constants,
+//     but supports eager cancellation.
+//   * CalendarEventQueue   — classic Brown calendar queue, amortized O(1)
+//     for stationary event-time distributions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace wsn::des {
+
+using EventId = std::uint64_t;
+
+/// One scheduled entry as seen by the kernel.
+struct QueuedEvent {
+  double time = 0.0;
+  EventId id = 0;
+};
+
+/// Abstract pending-event set.
+class EventQueue {
+ public:
+  virtual ~EventQueue() = default;
+
+  /// Insert an event; `id` is unique per insert and encodes FIFO order
+  /// (the kernel hands out monotonically increasing ids).
+  virtual void Push(double time, EventId id) = 0;
+
+  /// True if no live events remain.
+  virtual bool Empty() const = 0;
+
+  /// Remove and return the earliest live event.  Precondition: !Empty().
+  virtual QueuedEvent PopMin() = 0;
+
+  /// Earliest live event without removing it.  Precondition: !Empty().
+  virtual QueuedEvent PeekMin() = 0;
+
+  /// Cancel by id.  Returns false when the id is not live (already fired
+  /// or already cancelled).
+  virtual bool Cancel(EventId id) = 0;
+
+  /// Number of live events.
+  virtual std::size_t Size() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+std::unique_ptr<EventQueue> MakeBinaryHeapQueue();
+std::unique_ptr<EventQueue> MakeSortedListQueue();
+std::unique_ptr<EventQueue> MakeCalendarQueue(std::size_t initial_buckets = 64,
+                                              double bucket_width = 0.1);
+
+/// Which structure the kernel should use.
+enum class QueueKind { kBinaryHeap, kSortedList, kCalendar };
+
+std::unique_ptr<EventQueue> MakeQueue(QueueKind kind);
+
+}  // namespace wsn::des

@@ -1,0 +1,57 @@
+#include "des/simulator.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::des {
+
+using util::Require;
+
+Simulator::Simulator(QueueKind queue_kind) : queue_(MakeQueue(queue_kind)) {}
+
+EventId Simulator::ScheduleAt(double time, Action action) {
+  Require(time >= now_, "cannot schedule into the past");
+  Require(static_cast<bool>(action), "event action must be callable");
+  const EventId id = next_id_++;
+  queue_->Push(time, id);
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+EventId Simulator::ScheduleAfter(double delay, Action action) {
+  Require(delay >= 0.0, "delay must be >= 0");
+  return ScheduleAt(now_ + delay, std::move(action));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!queue_->Cancel(id)) return false;
+  actions_.erase(id);
+  return true;
+}
+
+bool Simulator::Step() {
+  if (queue_->Empty()) return false;
+  const QueuedEvent e = queue_->PopMin();
+  now_ = e.time;
+  const auto it = actions_.find(e.id);
+  Require(it != actions_.end(), "internal: event without action");
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  ++processed_;
+  action();
+  return true;
+}
+
+void Simulator::RunUntil(double until) {
+  Require(until >= now_, "horizon is in the past");
+  while (!queue_->Empty() && queue_->PeekMin().time <= until) {
+    Step();
+  }
+  now_ = until;
+}
+
+void Simulator::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+}  // namespace wsn::des

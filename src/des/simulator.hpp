@@ -1,0 +1,63 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded by design: one Simulator = one replication.  Parallelism
+// happens one level up (util::ParallelFor over replications, each with a
+// jump-separated RNG stream), which keeps the kernel free of locks and the
+// results bit-reproducible for a given (seed, replication) pair.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <unordered_map>
+
+#include "des/event_queue.hpp"
+
+namespace wsn::des {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  explicit Simulator(QueueKind queue_kind = QueueKind::kBinaryHeap);
+
+  /// Current simulation time.
+  double Now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute time `time` (>= Now()).
+  EventId ScheduleAt(double time, Action action);
+
+  /// Schedule `action` after `delay` (>= 0) from Now().
+  EventId ScheduleAfter(double delay, Action action);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// already cancelled.
+  bool Cancel(EventId id);
+
+  /// Fire the next event.  Returns false when no events remain.
+  bool Step();
+
+  /// Run until the event queue drains or the next event is later than
+  /// `until`; Now() is clamped to `until` at exit so time-weighted
+  /// statistics can be finalized at the horizon.
+  void RunUntil(double until);
+
+  /// Run until the queue drains completely.
+  void RunToCompletion();
+
+  /// Number of events fired so far.
+  std::uint64_t ProcessedEvents() const noexcept { return processed_; }
+
+  /// Live (pending, uncancelled) events.
+  std::size_t PendingEvents() const noexcept { return queue_->Size(); }
+
+ private:
+  std::unique_ptr<EventQueue> queue_;
+  std::unordered_map<EventId, Action> actions_;
+  double now_ = 0.0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace wsn::des

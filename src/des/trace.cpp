@@ -1,0 +1,39 @@
+#include "des/trace.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wsn::des {
+
+void StateTrace::Record(double time, std::string state) {
+  if (!entries_.empty()) {
+    util::Require(time >= entries_.back().time,
+                  "trace times must be non-decreasing");
+    if (entries_.back().state == state) return;
+  }
+  entries_.push_back({time, std::move(state)});
+}
+
+double StateTrace::TimeIn(const std::string& state, double horizon) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].time >= horizon) break;
+    const double end =
+        (i + 1 < entries_.size()) ? std::min(entries_[i + 1].time, horizon)
+                                  : horizon;
+    if (entries_[i].state == state) total += end - entries_[i].time;
+  }
+  return total;
+}
+
+std::string StateTrace::Render() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i) os << " -> ";
+    os << entries_[i].time << ":" << entries_[i].state;
+  }
+  return os.str();
+}
+
+}  // namespace wsn::des

@@ -1,0 +1,36 @@
+// State-transition trace recorder.  Used by tests to assert the exact
+// power-state timeline of the CPU simulator under deterministic workloads,
+// and by examples for visual inspection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsn::des {
+
+struct TraceEntry {
+  double time = 0.0;
+  std::string state;
+};
+
+class StateTrace {
+ public:
+  /// Record that the model entered `state` at `time`.  Consecutive
+  /// duplicates are collapsed.
+  void Record(double time, std::string state);
+
+  const std::vector<TraceEntry>& Entries() const noexcept { return entries_; }
+  std::size_t Size() const noexcept { return entries_.size(); }
+
+  /// Total time spent in `state` over [0, horizon].
+  double TimeIn(const std::string& state, double horizon) const;
+
+  /// Render as "t0:state0 -> t1:state1 -> ...".
+  std::string Render() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace wsn::des

@@ -1,0 +1,29 @@
+#include "energy/battery.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::energy {
+
+using util::Require;
+
+Battery::Battery(double capacity_mah, double voltage) {
+  Require(capacity_mah > 0.0, "battery capacity must be positive");
+  Require(voltage > 0.0, "battery voltage must be positive");
+  // mAh * V = mWh; * 3.6 = joules.
+  capacity_joules_ = capacity_mah * voltage * 3.6;
+  remaining_joules_ = capacity_joules_;
+}
+
+bool Battery::Drain(double joules) {
+  Require(joules >= 0.0, "drain must be >= 0");
+  remaining_joules_ -= joules;
+  if (remaining_joules_ < 0.0) remaining_joules_ = 0.0;
+  return remaining_joules_ > 0.0;
+}
+
+double Battery::LifetimeSeconds(double milliwatts) const {
+  Require(milliwatts > 0.0, "draw must be positive");
+  return capacity_joules_ / (milliwatts / 1000.0);
+}
+
+}  // namespace wsn::energy

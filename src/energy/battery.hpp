@@ -1,0 +1,33 @@
+// Idealized battery for node-lifetime estimation in the WSN examples:
+// a fixed energy budget drained at the node's average power.
+#pragma once
+
+namespace wsn::energy {
+
+class Battery {
+ public:
+  /// A battery of `capacity_mah` at `voltage` volts (e.g. 2x AA:
+  /// ~2500 mAh at 3.0 V).
+  Battery(double capacity_mah, double voltage);
+
+  /// Total usable energy in joules.
+  double CapacityJoules() const noexcept { return capacity_joules_; }
+
+  /// Remaining energy after draining `joules`.
+  double Remaining() const noexcept { return remaining_joules_; }
+
+  /// Drain `joules`; clamps at zero.  Returns true while charge remains.
+  bool Drain(double joules);
+
+  bool Depleted() const noexcept { return remaining_joules_ <= 0.0; }
+
+  /// Lifetime in seconds at a constant average draw of `milliwatts`
+  /// (computed on the full capacity, independent of Drain state).
+  double LifetimeSeconds(double milliwatts) const;
+
+ private:
+  double capacity_joules_;
+  double remaining_joules_;
+};
+
+}  // namespace wsn::energy

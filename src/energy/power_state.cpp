@@ -1,0 +1,34 @@
+#include "energy/power_state.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::energy {
+
+void PowerStateTable::Validate() const {
+  util::Require(standby_mw >= 0.0 && idle_mw >= 0.0 && powerup_mw >= 0.0 &&
+                    active_mw >= 0.0,
+                "power draws must be non-negative");
+  util::Require(standby_mw <= idle_mw,
+                "standby draw should not exceed idle draw");
+  util::Require(idle_mw <= active_mw,
+                "idle draw should not exceed active draw");
+}
+
+PowerStateTable Pxa271() {
+  return {"PXA271", /*standby=*/17.0, /*idle=*/88.0,
+          /*powerup=*/192.442, /*active=*/193.0};
+}
+
+PowerStateTable Msp430() {
+  // ~3V supply: sleep ~6 uW, idle (LPM0) ~0.16 mW, wakeup burst ~3.6 mW,
+  // active ~3.6 mW.
+  return {"MSP430", 0.006, 0.165, 3.6, 3.6};
+}
+
+PowerStateTable Atmega128L() {
+  // ~3V supply: power-save ~0.06 mW, idle ~9.6 mW, wake ~24 mW,
+  // active ~24 mW.
+  return {"ATmega128L", 0.06, 9.6, 24.0, 24.0};
+}
+
+}  // namespace wsn::energy

@@ -1,0 +1,34 @@
+// CPU power-state tables.  The paper's Table 3 (PXA271 numbers from Jung
+// et al., EWSN 2007) is the default; presets for two other common WSN
+// microcontrollers are included for the examples.
+#pragma once
+
+#include <string>
+
+namespace wsn::energy {
+
+/// Power draw (milliwatts) in each of the four modeled CPU states.
+struct PowerStateTable {
+  std::string name;
+  double standby_mw = 0.0;
+  double idle_mw = 0.0;
+  double powerup_mw = 0.0;
+  double active_mw = 0.0;
+
+  /// Checks all draws are non-negative and ordering is sane
+  /// (standby <= idle <= active); throws InvalidArgument otherwise.
+  void Validate() const;
+};
+
+/// Paper Table 3: Intel PXA271 (mW): standby 17, idle 88,
+/// powering up 192.442, active 193.
+PowerStateTable Pxa271();
+
+/// TI MSP430F1611-class node (values in the same ballpark as Telos-style
+/// motes; used by WSN examples, not by the paper reproduction).
+PowerStateTable Msp430();
+
+/// Atmel ATmega128L-class node (Mica2-style).
+PowerStateTable Atmega128L();
+
+}  // namespace wsn::energy

@@ -1,0 +1,42 @@
+// First-order radio energy model (Heinzelman-style): electronics cost per
+// bit plus distance-dependent amplifier cost.  Used by the WSN examples —
+// the paper notes communication dominates node energy, so the node model
+// in src/wsn pairs the CPU model with this radio.
+#pragma once
+
+#include <cstddef>
+
+namespace wsn::energy {
+
+struct RadioParameters {
+  double elec_nj_per_bit = 50.0;      ///< TX/RX electronics, nJ/bit
+  double amp_friis_pj_per_bit_m2 = 10.0;   ///< free-space amp, pJ/bit/m^2
+  double amp_multipath_pj_per_bit_m4 = 0.0013;  ///< two-ray, pJ/bit/m^4
+  double crossover_m = 87.0;          ///< free-space/two-ray switch distance
+  double sleep_mw = 0.0001;           ///< radio asleep draw
+  double listen_mw = 60.0;            ///< idle listening draw
+};
+
+class RadioModel {
+ public:
+  explicit RadioModel(RadioParameters params = {});
+
+  /// Energy (joules) to transmit `bits` over `distance_m` meters.
+  double TransmitEnergy(std::size_t bits, double distance_m) const;
+
+  /// Energy (joules) to receive `bits`.
+  double ReceiveEnergy(std::size_t bits) const;
+
+  /// Energy (joules) spent listening for `seconds`.
+  double ListenEnergy(double seconds) const;
+
+  /// Energy (joules) asleep for `seconds`.
+  double SleepEnergy(double seconds) const;
+
+  const RadioParameters& Parameters() const noexcept { return params_; }
+
+ private:
+  RadioParameters params_;
+};
+
+}  // namespace wsn::energy

@@ -1,0 +1,46 @@
+// Dense LU factorization with partial pivoting, plus helpers built on it:
+// linear solve, determinant, and the rank-1-constraint solve used for CTMC
+// stationary distributions (pi Q = 0, sum pi = 1).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace wsn::linalg {
+
+/// PA = LU factorization (Doolittle, partial pivoting).
+class LuDecomposition {
+ public:
+  /// Factors `a`; throws NumericalError if the matrix is singular to
+  /// machine precision.
+  explicit LuDecomposition(Matrix a);
+
+  /// Solve A x = b.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  /// det(A); sign accounts for row swaps.
+  double Determinant() const noexcept;
+
+  std::size_t Size() const noexcept { return lu_.Rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int swap_parity_ = 1;
+};
+
+/// One-shot solve A x = b.
+std::vector<double> SolveDense(const Matrix& a, const std::vector<double>& b);
+
+/// Stationary distribution of a CTMC with generator Q (rows sum to 0):
+/// solves pi Q = 0 with sum(pi) = 1 by replacing one column of Q^T with
+/// ones.  `q` must be square.  Throws for non-square or singular systems
+/// (e.g. reducible chains).
+std::vector<double> StationaryFromGenerator(const Matrix& q);
+
+/// Stationary distribution of a DTMC with transition matrix P (rows sum
+/// to 1): solves pi (P - I) = 0 with sum(pi) = 1.
+std::vector<double> StationaryFromStochastic(const Matrix& p);
+
+}  // namespace wsn::linalg

@@ -1,0 +1,39 @@
+#include "markov/birth_death.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::Require;
+
+std::vector<double> BirthDeathStationary(const std::vector<double>& birth,
+                                         const std::vector<double>& death) {
+  Require(birth.size() == death.size(),
+          "birth/death rate lists must be the same length");
+  const std::size_t k = birth.size();
+  for (double r : birth) Require(r > 0.0, "birth rates must be positive");
+  for (double r : death) Require(r > 0.0, "death rates must be positive");
+
+  // pi_{i+1} = pi_i * birth_i / death_i; normalize.
+  std::vector<double> pi(k + 1, 0.0);
+  pi[0] = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    pi[i + 1] = pi[i] * birth[i] / death[i];
+  }
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  for (double& p : pi) p /= sum;
+  return pi;
+}
+
+double BirthDeathMeanState(const std::vector<double>& birth,
+                           const std::vector<double>& death) {
+  const std::vector<double> pi = BirthDeathStationary(birth, death);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    mean += static_cast<double>(i) * pi[i];
+  }
+  return mean;
+}
+
+}  // namespace wsn::markov

@@ -1,0 +1,22 @@
+// Closed-form stationary analysis of finite birth–death chains.
+// The paper's Fig. 2 is a birth–death skeleton with extra powerup/standby
+// structure; the pure birth–death solution provides the reference behaviour
+// and a validation target for the CTMC solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wsn::markov {
+
+/// Stationary distribution of the birth–death chain on {0..K} with birth
+/// rates `birth[i]` (i -> i+1, i in 0..K-1) and death rates `death[i]`
+/// (i+1 -> i, i in 0..K-1).  All rates must be positive.
+std::vector<double> BirthDeathStationary(const std::vector<double>& birth,
+                                         const std::vector<double>& death);
+
+/// Expected value of the stationary state index.
+double BirthDeathMeanState(const std::vector<double>& birth,
+                           const std::vector<double>& death);
+
+}  // namespace wsn::markov

@@ -1,0 +1,141 @@
+#include "markov/ctmc.hpp"
+
+#include <cmath>
+
+#include "linalg/iterative.hpp"
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::ModelError;
+using util::Require;
+
+Ctmc::Ctmc(std::size_t n) : labels_(n) {}
+
+std::size_t Ctmc::AddState(std::string label) {
+  labels_.push_back(std::move(label));
+  return labels_.size() - 1;
+}
+
+const std::string& Ctmc::Label(std::size_t i) const {
+  Require(i < labels_.size(), "CTMC state index out of range");
+  return labels_[i];
+}
+
+void Ctmc::AddRate(std::size_t i, std::size_t j, double rate) {
+  Require(i < labels_.size() && j < labels_.size(),
+          "CTMC transition endpoint out of range");
+  Require(i != j, "CTMC self-loops are meaningless (rates, not probabilities)");
+  Require(rate >= 0.0 && std::isfinite(rate), "CTMC rate must be >= 0");
+  if (rate == 0.0) return;
+  edges_.push_back({i, j, rate});
+}
+
+double Ctmc::ExitRate(std::size_t i) const {
+  Require(i < labels_.size(), "CTMC state index out of range");
+  double total = 0.0;
+  for (const Edge& e : edges_) {
+    if (e.from == i) total += e.rate;
+  }
+  return total;
+}
+
+linalg::Matrix Ctmc::Generator() const {
+  const std::size_t n = labels_.size();
+  linalg::Matrix q(n, n, 0.0);
+  for (const Edge& e : edges_) {
+    q(e.from, e.to) += e.rate;
+    q(e.from, e.from) -= e.rate;
+  }
+  return q;
+}
+
+linalg::CsrMatrix Ctmc::SparseGenerator() const {
+  const std::size_t n = labels_.size();
+  linalg::CooBuilder coo(n, n);
+  for (const Edge& e : edges_) {
+    coo.Add(e.from, e.to, e.rate);
+    coo.Add(e.from, e.from, -e.rate);
+  }
+  return linalg::CsrMatrix(coo);
+}
+
+std::vector<double> Ctmc::StationaryDistribution(
+    std::size_t dense_threshold) const {
+  const std::size_t n = labels_.size();
+  if (n == 0) throw ModelError("CTMC has no states");
+  if (n == 1) return {1.0};
+  if (edges_.empty()) throw ModelError("CTMC has no transitions");
+  if (n <= dense_threshold) {
+    return linalg::StationaryFromGenerator(Generator());
+  }
+  linalg::IterativeOptions opts;
+  opts.tolerance = 1e-13;
+  auto result = linalg::StationaryGaussSeidel(SparseGenerator(), opts);
+  if (!result.converged) {
+    throw ModelError("CTMC stationary solve did not converge");
+  }
+  return std::move(result.solution);
+}
+
+std::vector<double> Ctmc::TransientDistribution(const std::vector<double>& p0,
+                                                double t,
+                                                double epsilon) const {
+  const std::size_t n = labels_.size();
+  Require(p0.size() == n, "initial distribution dimension mismatch");
+  Require(t >= 0.0, "time must be >= 0");
+  if (t == 0.0 || edges_.empty()) return p0;
+
+  // Uniformization: P(t) = sum_k e^{-Lt} (Lt)^k / k! * p0 P^k,
+  // with P = I + Q / L, L >= max exit rate.
+  double max_exit = 0.0;
+  std::vector<double> exit(n, 0.0);
+  for (const Edge& e : edges_) exit[e.from] += e.rate;
+  for (double x : exit) max_exit = std::max(max_exit, x);
+  const double big_lambda = max_exit * 1.02 + 1e-12;
+  const linalg::CsrMatrix q = SparseGenerator();
+
+  const double lt = big_lambda * t;
+  // Truncation point: continue until cumulative Poisson weight >= 1-eps.
+  std::vector<double> v = p0;          // p0 P^k as k grows
+  std::vector<double> acc(n, 0.0);
+
+  // Stable Poisson recurrence with scaling: w_0 = e^{-lt}.  For very large
+  // lt we start from log-space.
+  double log_w = -lt;
+  double cumulative = 0.0;
+  std::size_t k = 0;
+  const std::size_t k_max = static_cast<std::size_t>(lt + 10.0 * std::sqrt(lt) + 50.0);
+  while (cumulative < 1.0 - epsilon && k <= k_max) {
+    const double w = std::exp(log_w);
+    if (w > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) acc[i] += w * v[i];
+      cumulative += w;
+    }
+    // v <- v P = v + (Q^T v)/L.
+    std::vector<double> qt_v = q.ApplyTransposed(v);
+    for (std::size_t i = 0; i < n; ++i) v[i] += qt_v[i] / big_lambda;
+    ++k;
+    log_w += std::log(lt) - std::log(static_cast<double>(k));
+  }
+  // Fold remaining mass into the last computed vector (small by choice
+  // of k_max) and renormalize.
+  double sum = 0.0;
+  for (double x : acc) sum += x;
+  if (sum > 0.0) {
+    for (double& x : acc) x /= sum;
+  }
+  return acc;
+}
+
+double Ctmc::StationaryReward(const std::vector<double>& reward,
+                              std::size_t dense_threshold) const {
+  Require(reward.size() == labels_.size(), "reward dimension mismatch");
+  const std::vector<double> pi = StationaryDistribution(dense_threshold);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pi.size(); ++i) acc += pi[i] * reward[i];
+  return acc;
+}
+
+}  // namespace wsn::markov

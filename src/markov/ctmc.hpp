@@ -1,0 +1,71 @@
+// Continuous-time Markov chain: construction, stationary analysis and
+// transient analysis (uniformization).
+//
+// This is both a standalone modeling tool and the numerical back end of the
+// Petri-net solver: an exponential-only SPN reduces to a CTMC over its
+// tangible reachability graph (petri/ctmc_solver.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace wsn::markov {
+
+/// A finite CTMC under construction / analysis.
+class Ctmc {
+ public:
+  /// `n` states, all rates zero.
+  explicit Ctmc(std::size_t n);
+
+  /// Add a state, returning its index.  Optional human-readable label.
+  static Ctmc Empty() { return Ctmc(0); }
+  std::size_t AddState(std::string label = {});
+
+  std::size_t StateCount() const noexcept { return labels_.size(); }
+  const std::string& Label(std::size_t i) const;
+
+  /// Add transition rate `rate` from state i to state j (i != j, rate >= 0).
+  /// Repeated calls accumulate.
+  void AddRate(std::size_t i, std::size_t j, double rate);
+
+  /// Total exit rate of state i.
+  double ExitRate(std::size_t i) const;
+
+  /// Dense generator matrix Q (rows sum to zero).
+  linalg::Matrix Generator() const;
+
+  /// Sparse generator.
+  linalg::CsrMatrix SparseGenerator() const;
+
+  /// Stationary distribution.  Uses dense LU for chains up to
+  /// `dense_threshold` states, Gauss–Seidel beyond.  Throws ModelError if
+  /// the chain has no transitions or the solve fails.
+  std::vector<double> StationaryDistribution(
+      std::size_t dense_threshold = 512) const;
+
+  /// Transient distribution at time t from initial distribution p0, via
+  /// uniformization with truncation error below `epsilon`.
+  std::vector<double> TransientDistribution(const std::vector<double>& p0,
+                                            double t,
+                                            double epsilon = 1e-10) const;
+
+  /// Expected reward rate at stationarity: sum_i pi_i * reward[i].
+  double StationaryReward(const std::vector<double>& reward,
+                          std::size_t dense_threshold = 512) const;
+
+ private:
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+    double rate;
+  };
+
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace wsn::markov

@@ -1,0 +1,117 @@
+#include "markov/dtmc.hpp"
+
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::ModelError;
+using util::Require;
+
+Dtmc::Dtmc(std::size_t n) : n_(n), p_(n, n, 0.0) {
+  Require(n > 0, "DTMC needs at least one state");
+}
+
+void Dtmc::SetProbability(std::size_t i, std::size_t j, double p) {
+  Require(i < n_ && j < n_, "DTMC index out of range");
+  Require(p >= 0.0 && p <= 1.0 + 1e-12, "probability must be in [0,1]");
+  p_(i, j) = p;
+}
+
+void Dtmc::AddProbability(std::size_t i, std::size_t j, double p) {
+  Require(i < n_ && j < n_, "DTMC index out of range");
+  Require(p >= 0.0, "probability increment must be >= 0");
+  p_(i, j) += p;
+}
+
+void Dtmc::Validate(double tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) sum += p_(i, j);
+    if (std::abs(sum - 1.0) > tol) {
+      throw ModelError("DTMC row " + std::to_string(i) +
+                       " sums to " + std::to_string(sum) + ", expected 1");
+    }
+  }
+}
+
+std::vector<double> Dtmc::Evolve(const std::vector<double>& p0,
+                                 std::size_t steps) const {
+  Require(p0.size() == n_, "initial distribution dimension mismatch");
+  std::vector<double> v = p0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    v = p_.ApplyTransposed(v);
+  }
+  return v;
+}
+
+std::vector<double> Dtmc::StationaryDistribution() const {
+  Validate();
+  return linalg::StationaryFromStochastic(p_);
+}
+
+linalg::Matrix Dtmc::AbsorptionProbabilities(
+    const std::vector<bool>& absorbing) const {
+  Require(absorbing.size() == n_, "absorbing mask dimension mismatch");
+  std::vector<std::size_t> transient, absorb;
+  for (std::size_t i = 0; i < n_; ++i) {
+    (absorbing[i] ? absorb : transient).push_back(i);
+  }
+  Require(!absorb.empty(), "no absorbing states");
+  const std::size_t t = transient.size();
+  const std::size_t a = absorb.size();
+  if (t == 0) return linalg::Matrix(0, a);
+
+  // Canonical form: B = (I - T)^{-1} R where T is transient->transient and
+  // R is transient->absorbing.
+  linalg::Matrix i_minus_t(t, t, 0.0);
+  linalg::Matrix r(t, a, 0.0);
+  for (std::size_t x = 0; x < t; ++x) {
+    i_minus_t(x, x) = 1.0;
+    for (std::size_t y = 0; y < t; ++y) {
+      i_minus_t(x, y) -= p_(transient[x], transient[y]);
+    }
+    for (std::size_t y = 0; y < a; ++y) {
+      r(x, y) = p_(transient[x], absorb[y]);
+    }
+  }
+  linalg::LuDecomposition lu(std::move(i_minus_t));
+  linalg::Matrix b(t, a, 0.0);
+  std::vector<double> col(t);
+  for (std::size_t y = 0; y < a; ++y) {
+    for (std::size_t x = 0; x < t; ++x) col[x] = r(x, y);
+    const std::vector<double> sol = lu.Solve(col);
+    for (std::size_t x = 0; x < t; ++x) b(x, y) = sol[x];
+  }
+  return b;
+}
+
+std::vector<double> Dtmc::ExpectedStepsToAbsorption(
+    const std::vector<bool>& absorbing) const {
+  Require(absorbing.size() == n_, "absorbing mask dimension mismatch");
+  std::vector<std::size_t> transient;
+  bool any_absorbing = false;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (absorbing[i]) {
+      any_absorbing = true;
+    } else {
+      transient.push_back(i);
+    }
+  }
+  Require(any_absorbing, "no absorbing states");
+  const std::size_t t = transient.size();
+  if (t == 0) return {};
+  linalg::Matrix i_minus_t(t, t, 0.0);
+  for (std::size_t x = 0; x < t; ++x) {
+    i_minus_t(x, x) = 1.0;
+    for (std::size_t y = 0; y < t; ++y) {
+      i_minus_t(x, y) -= p_(transient[x], transient[y]);
+    }
+  }
+  return linalg::LuDecomposition(std::move(i_minus_t))
+      .Solve(std::vector<double>(t, 1.0));
+}
+
+}  // namespace wsn::markov

@@ -1,0 +1,55 @@
+// Discrete-time Markov chain: stationary analysis, n-step evolution and
+// absorbing-chain quantities.  Used by the Petri-net solver to eliminate
+// vanishing markings (immediate-transition firing is a DTMC absorption
+// problem) and directly available to library users.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace wsn::markov {
+
+class Dtmc {
+ public:
+  explicit Dtmc(std::size_t n);
+
+  std::size_t StateCount() const noexcept { return n_; }
+
+  /// Set transition probability P(i -> j).  Rows must sum to 1 before any
+  /// analysis call (checked, tolerance 1e-9).
+  void SetProbability(std::size_t i, std::size_t j, double p);
+
+  /// Accumulate probability mass (for chains built incrementally).
+  void AddProbability(std::size_t i, std::size_t j, double p);
+
+  const linalg::Matrix& TransitionMatrix() const noexcept { return p_; }
+
+  /// Verify all rows sum to 1 within tolerance; throws ModelError if not.
+  void Validate(double tol = 1e-9) const;
+
+  /// Distribution after `steps` steps from `p0`.
+  std::vector<double> Evolve(const std::vector<double>& p0,
+                             std::size_t steps) const;
+
+  /// Stationary distribution (direct solve; chain must be ergodic).
+  std::vector<double> StationaryDistribution() const;
+
+  /// For an absorbing chain where `absorbing[i]` marks absorbing states:
+  /// returns the matrix B with B(t, a) = probability that transient state t
+  /// is eventually absorbed in absorbing state a.  Row/column indices are
+  /// positions within the transient / absorbing subsets (in state order).
+  linalg::Matrix AbsorptionProbabilities(
+      const std::vector<bool>& absorbing) const;
+
+  /// Expected number of steps before absorption, per transient state.
+  std::vector<double> ExpectedStepsToAbsorption(
+      const std::vector<bool>& absorbing) const;
+
+ private:
+  std::size_t n_;
+  linalg::Matrix p_;
+};
+
+}  // namespace wsn::markov

@@ -1,0 +1,81 @@
+#include "markov/mm1.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::Require;
+
+double Mm1::Rho() const {
+  Require(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  return lambda / mu;
+}
+
+double Mm1::P0() const {
+  const double rho = Rho();
+  Require(rho < 1.0, "M/M/1 requires rho < 1");
+  return 1.0 - rho;
+}
+
+double Mm1::Pn(std::size_t n) const {
+  return P0() * std::pow(Rho(), static_cast<double>(n));
+}
+
+double Mm1::MeanJobs() const {
+  const double rho = Rho();
+  Require(rho < 1.0, "M/M/1 requires rho < 1");
+  return rho / (1.0 - rho);
+}
+
+double Mm1::MeanQueue() const {
+  const double rho = Rho();
+  Require(rho < 1.0, "M/M/1 requires rho < 1");
+  return rho * rho / (1.0 - rho);
+}
+
+double Mm1::MeanLatency() const { return MeanJobs() / lambda; }
+
+double Mm1::MeanWait() const { return MeanQueue() / lambda; }
+
+double Mm1::Utilization() const {
+  const double rho = Rho();
+  Require(rho < 1.0, "M/M/1 requires rho < 1");
+  return rho;
+}
+
+double Mm1k::Rho() const {
+  Require(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  return lambda / mu;
+}
+
+double Mm1k::Pn(std::size_t n) const {
+  Require(capacity >= 1, "capacity must be >= 1");
+  if (n > capacity) return 0.0;
+  const double rho = Rho();
+  if (std::abs(rho - 1.0) < 1e-12) {
+    return 1.0 / static_cast<double>(capacity + 1);
+  }
+  const double k = static_cast<double>(capacity);
+  return (1.0 - rho) * std::pow(rho, static_cast<double>(n)) /
+         (1.0 - std::pow(rho, k + 1.0));
+}
+
+double Mm1k::BlockingProbability() const { return Pn(capacity); }
+
+double Mm1k::MeanJobs() const {
+  double mean = 0.0;
+  for (std::size_t n = 1; n <= capacity; ++n) {
+    mean += static_cast<double>(n) * Pn(n);
+  }
+  return mean;
+}
+
+double Mm1k::Throughput() const {
+  return lambda * (1.0 - BlockingProbability());
+}
+
+double Mm1k::Utilization() const { return 1.0 - Pn(0); }
+
+}  // namespace wsn::markov

@@ -1,0 +1,48 @@
+// Reference formulas for M/M/1 and M/M/1/K queues.  These are the
+// sanity anchors for the DES kernel, the Petri-net simulator and the
+// CTMC solver: every engine in this project is validated against them.
+#pragma once
+
+#include <cstddef>
+
+namespace wsn::markov {
+
+/// Classic M/M/1 results; requires rho = lambda/mu < 1.
+struct Mm1 {
+  double lambda;
+  double mu;
+
+  double Rho() const;
+  /// P(system empty).
+  double P0() const;
+  /// P(n jobs in system).
+  double Pn(std::size_t n) const;
+  /// Mean number in system L.
+  double MeanJobs() const;
+  /// Mean number in queue Lq.
+  double MeanQueue() const;
+  /// Mean sojourn time W (Little).
+  double MeanLatency() const;
+  /// Mean waiting time Wq.
+  double MeanWait() const;
+  /// Server utilization.
+  double Utilization() const;
+};
+
+/// Finite-buffer M/M/1/K (K = max jobs in system, including in service).
+struct Mm1k {
+  double lambda;
+  double mu;
+  std::size_t capacity;
+
+  double Rho() const;
+  double Pn(std::size_t n) const;
+  /// Probability an arrival is lost.
+  double BlockingProbability() const;
+  double MeanJobs() const;
+  /// Effective throughput lambda (1 - P_block).
+  double Throughput() const;
+  double Utilization() const;
+};
+
+}  // namespace wsn::markov

@@ -1,0 +1,143 @@
+#include "markov/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::Require;
+
+namespace {
+
+std::size_t AutoMaxJobs(double lambda, double mu, double D) {
+  const double rho = lambda / mu;
+  // Queue peaks during power-up (Poisson(lambda*D) arrivals) and during
+  // M/M/1 busy periods; budget both with wide safety margins so the
+  // truncated probability mass is far below solver tolerance.
+  const double ld = lambda * D;
+  const double from_powerup = ld + 8.0 * std::sqrt(ld + 1.0);
+  const double from_queue = 30.0 / std::max(1e-6, 1.0 - rho);
+  return static_cast<std::size_t>(
+      std::clamp(std::ceil(from_powerup + from_queue), 40.0, 4000.0));
+}
+
+}  // namespace
+
+StagesCpuModel::StagesCpuModel(double lambda, double mu, double T, double D,
+                               std::size_t k_powerdown, std::size_t k_powerup,
+                               std::size_t max_jobs)
+    : lambda_(lambda), mu_(mu), T_(T), D_(D), kt_(k_powerdown),
+      kd_(k_powerup), max_jobs_(max_jobs) {
+  Require(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  Require(lambda < mu, "stability requires lambda < mu");
+  Require(T >= 0.0 && D >= 0.0, "delays must be >= 0");
+  Require(kt_ >= 1 && kd_ >= 1, "stage counts must be >= 1");
+  if (max_jobs_ == 0) max_jobs_ = AutoMaxJobs(lambda, mu, D);
+}
+
+Ctmc StagesCpuModel::BuildChain() const {
+  const bool has_idle = T_ > 0.0;
+  const bool has_powerup = D_ > 0.0;
+  const std::size_t kt = has_idle ? kt_ : 0;
+  const std::size_t kd = has_powerup ? kd_ : 0;
+  const std::size_t n_states =
+      1 + kt + max_jobs_ + (has_powerup ? max_jobs_ * kd : 0);
+
+  Ctmc chain(n_states);
+  const std::size_t standby = 0;
+  auto idle = [&](std::size_t j) { return 1 + j; };
+  auto active = [&](std::size_t n) { return 1 + kt + (n - 1); };
+  auto powerup = [&](std::size_t n, std::size_t j) {
+    return 1 + kt + max_jobs_ + (n - 1) * kd + j;
+  };
+
+  const double idle_phase_rate = has_idle ? static_cast<double>(kt_) / T_ : 0.0;
+  const double pu_phase_rate = has_powerup ? static_cast<double>(kd_) / D_ : 0.0;
+
+  // Standby: an arrival starts the power-up (or goes straight to service
+  // when D == 0).
+  if (has_powerup) {
+    chain.AddRate(standby, powerup(1, 0), lambda_);
+  } else {
+    chain.AddRate(standby, active(1), lambda_);
+  }
+
+  // Idle timer phases.
+  for (std::size_t j = 0; j < kt; ++j) {
+    chain.AddRate(idle(j), active(1), lambda_);  // arrival interrupts timer
+    if (j + 1 < kt) {
+      chain.AddRate(idle(j), idle(j + 1), idle_phase_rate);
+    } else {
+      chain.AddRate(idle(j), standby, idle_phase_rate);
+    }
+  }
+
+  // Active (CPU on, n >= 1 jobs in system).
+  for (std::size_t n = 1; n <= max_jobs_; ++n) {
+    if (n < max_jobs_) chain.AddRate(active(n), active(n + 1), lambda_);
+    if (n > 1) {
+      chain.AddRate(active(n), active(n - 1), mu_);
+    } else if (has_idle) {
+      chain.AddRate(active(1), idle(0), mu_);
+    } else {
+      chain.AddRate(active(1), standby, mu_);  // T == 0: sleep immediately
+    }
+  }
+
+  // Power-up phases with queue growth.
+  if (has_powerup) {
+    for (std::size_t n = 1; n <= max_jobs_; ++n) {
+      for (std::size_t j = 0; j < kd; ++j) {
+        if (n < max_jobs_) {
+          chain.AddRate(powerup(n, j), powerup(n + 1, j), lambda_);
+        }
+        if (j + 1 < kd) {
+          chain.AddRate(powerup(n, j), powerup(n, j + 1), pu_phase_rate);
+        } else {
+          chain.AddRate(powerup(n, j), active(n), pu_phase_rate);
+        }
+      }
+    }
+  }
+  return chain;
+}
+
+StagesResult StagesCpuModel::SharesFromDistribution(
+    const std::vector<double>& pi) const {
+  const bool has_idle = T_ > 0.0;
+  const bool has_powerup = D_ > 0.0;
+  const std::size_t kt = has_idle ? kt_ : 0;
+  const std::size_t kd = has_powerup ? kd_ : 0;
+  Require(pi.size() == 1 + kt + max_jobs_ +
+                           (has_powerup ? max_jobs_ * kd : 0),
+          "distribution size does not match the expanded chain");
+
+  StagesResult out;
+  out.states = pi.size();
+  out.p_standby = pi[0];
+  for (std::size_t j = 0; j < kt; ++j) out.p_idle += pi[1 + j];
+  for (std::size_t n = 1; n <= max_jobs_; ++n) {
+    const double p = pi[1 + kt + (n - 1)];
+    out.p_active += p;
+    out.mean_jobs += static_cast<double>(n) * p;
+  }
+  if (has_powerup) {
+    for (std::size_t n = 1; n <= max_jobs_; ++n) {
+      for (std::size_t j = 0; j < kd; ++j) {
+        const double p = pi[1 + kt + max_jobs_ + (n - 1) * kd + j];
+        out.p_powerup += p;
+        out.mean_jobs += static_cast<double>(n) * p;
+      }
+    }
+  }
+  return out;
+}
+
+StagesResult StagesCpuModel::Evaluate() const {
+  const Ctmc chain = BuildChain();
+  return SharesFromDistribution(chain.StationaryDistribution());
+}
+
+}  // namespace wsn::markov

@@ -1,0 +1,67 @@
+#include "markov/supplementary.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::Require;
+
+SupplementaryVariableModel::SupplementaryVariableModel(double lambda,
+                                                       double mu, double T,
+                                                       double D)
+    : lambda_(lambda), mu_(mu), T_(T), D_(D) {
+  Require(lambda > 0.0 && std::isfinite(lambda), "lambda must be positive");
+  Require(mu > 0.0 && std::isfinite(mu), "mu must be positive");
+  Require(T >= 0.0 && std::isfinite(T), "T must be >= 0");
+  Require(D >= 0.0 && std::isfinite(D), "D must be >= 0");
+  Require(lambda < mu, "stability requires rho = lambda/mu < 1");
+}
+
+SupplementaryResult SupplementaryVariableModel::Evaluate() const {
+  const double rho = Rho();
+  const double elt = std::exp(lambda_ * T_);    // e^{lambda T}
+  const double emld = std::exp(-lambda_ * D_);  // e^{-lambda D}
+  const double ld = lambda_ * D_;
+
+  // Eq. (17) denominator.
+  const double denom = elt + (1.0 - rho) * (1.0 - emld) + rho * ld;
+
+  SupplementaryResult r;
+  r.p_standby = (1.0 - rho) / denom;                         // Eq. (17)
+  r.p_powerup = (1.0 - rho) * (1.0 - emld) / denom;          // Eq. (18)
+  r.p_idle = (elt - 1.0) * r.p_standby;                      // Eq. (12)
+  r.p_active = rho * (elt + ld) / denom;                     // Eq. (19)
+  r.probability_sum = r.p_standby + r.p_powerup + r.p_idle + r.p_active;
+
+  // Eq. (21): L(1).
+  r.mean_jobs = rho / (1.0 - rho) *
+                (elt + 0.5 * (1.0 - rho) * ld * ld + (2.0 - rho) * ld) /
+                denom;
+  // Eq. (22).
+  r.mean_latency = r.mean_jobs / lambda_;
+  return r;
+}
+
+double SupplementaryVariableModel::TotalRunningTime(
+    std::size_t total_jobs) const {
+  const SupplementaryResult r = Evaluate();
+  const double n = static_cast<double>(total_jobs);
+  // Eq. (23): T_total = (N + L(1)^2) / lambda.
+  return (n + r.mean_jobs * r.mean_jobs) / lambda_;
+}
+
+double SupplementaryVariableModel::TotalEnergyForJobs(
+    std::size_t total_jobs, double p_idle_power, double p_standby_power,
+    double p_powerup_power, double p_active_power) const {
+  const SupplementaryResult r = Evaluate();
+  const double weighted = r.p_idle * p_idle_power +
+                          r.p_standby * p_standby_power +
+                          r.p_powerup * p_powerup_power +
+                          r.p_active * p_active_power;
+  // Eq. (24).
+  return weighted * TotalRunningTime(total_jobs);
+}
+
+}  // namespace wsn::markov

@@ -1,0 +1,74 @@
+#include "markov/transient.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::markov {
+
+using util::Require;
+
+TransientCpuAnalysis::TransientCpuAnalysis(double lambda, double mu, double T,
+                                           double D, std::size_t stages,
+                                           std::size_t max_jobs)
+    : model_(lambda, mu, T, D, stages, stages, max_jobs), T_(T), D_(D),
+      kt_(stages), kd_(stages), chain_(model_.BuildChain()) {}
+
+std::vector<double> TransientCpuAnalysis::InitialDistribution() const {
+  std::vector<double> p0(chain_.StateCount(), 0.0);
+  p0[model_.StandbyState()] = 1.0;
+  return p0;
+}
+
+TransientPoint TransientCpuAnalysis::SharesFrom(
+    const std::vector<double>& dist, double t) const {
+  const StagesResult r = model_.SharesFromDistribution(dist);
+  TransientPoint out;
+  out.time = t;
+  out.p_standby = r.p_standby;
+  out.p_powerup = r.p_powerup;
+  out.p_idle = r.p_idle;
+  out.p_active = r.p_active;
+  out.mean_jobs = r.mean_jobs;
+  return out;
+}
+
+TransientPoint TransientCpuAnalysis::At(double t) const {
+  Require(t >= 0.0, "time must be >= 0");
+  return SharesFrom(chain_.TransientDistribution(InitialDistribution(), t),
+                    t);
+}
+
+std::vector<TransientPoint> TransientCpuAnalysis::Trajectory(
+    const std::vector<double>& times) const {
+  std::vector<TransientPoint> out;
+  out.reserve(times.size());
+  for (double t : times) out.push_back(At(t));
+  return out;
+}
+
+double TransientCpuAnalysis::CumulativeEnergyJoules(
+    double t, double standby_mw, double powerup_mw, double idle_mw,
+    double active_mw, std::size_t grid_points) const {
+  Require(t >= 0.0, "time must be >= 0");
+  Require(grid_points >= 2, "need at least two grid points");
+  if (t == 0.0) return 0.0;
+
+  auto power_mw = [&](double at) {
+    const TransientPoint p = At(at);
+    return p.p_standby * standby_mw + p.p_powerup * powerup_mw +
+           p.p_idle * idle_mw + p.p_active * active_mw;
+  };
+
+  // Trapezoid rule over an even grid.
+  const double h = t / static_cast<double>(grid_points - 1);
+  double acc = 0.5 * (power_mw(0.0) + power_mw(t));
+  for (std::size_t i = 1; i + 1 < grid_points; ++i) {
+    acc += power_mw(h * static_cast<double>(i));
+  }
+  return acc * h / 1000.0;  // mW * s -> J
+}
+
+StagesResult TransientCpuAnalysis::StationaryLimit() const {
+  return model_.Evaluate();
+}
+
+}  // namespace wsn::markov

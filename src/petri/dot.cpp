@@ -1,0 +1,51 @@
+#include "petri/dot.hpp"
+
+#include <sstream>
+
+namespace wsn::petri {
+
+std::string ToDot(const PetriNet& net, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=LR;\n";
+  for (std::size_t p = 0; p < net.PlaceCount(); ++p) {
+    const Place& place = net.GetPlace(p);
+    os << "  p" << p << " [shape=circle,label=\"" << place.name;
+    if (place.initial_tokens > 0) {
+      os << "\\n(" << place.initial_tokens << ")";
+    }
+    os << "\"];\n";
+  }
+  for (std::size_t t = 0; t < net.TransitionCount(); ++t) {
+    const Transition& tr = net.GetTransition(t);
+    if (tr.IsImmediate()) {
+      os << "  t" << t << " [shape=box,height=0.1,style=filled,"
+         << "fillcolor=black,label=\"\",xlabel=\"" << tr.name << " (pri "
+         << tr.priority << ")\"];\n";
+    } else {
+      os << "  t" << t << " [shape=box,label=\"" << tr.name << "\\n"
+         << tr.delay->Describe() << "\"];\n";
+    }
+    for (const Arc& a : tr.arcs) {
+      switch (a.kind) {
+        case ArcKind::kInput:
+          os << "  p" << a.place << " -> t" << t;
+          break;
+        case ArcKind::kOutput:
+          os << "  t" << t << " -> p" << a.place;
+          break;
+        case ArcKind::kInhibitor:
+          os << "  p" << a.place << " -> t" << t << " [arrowhead=odot]";
+          break;
+      }
+      if (a.kind != ArcKind::kInhibitor && a.multiplicity > 1) {
+        os << " [label=\"" << a.multiplicity << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace wsn::petri

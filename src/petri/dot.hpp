@@ -1,0 +1,16 @@
+// Graphviz DOT export of a Petri net (places as circles with token dots,
+// immediate transitions as thin bars, timed transitions as boxes labelled
+// with their distribution, inhibitor arcs with odot arrowheads).
+#pragma once
+
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace wsn::petri {
+
+/// Render the net as a DOT digraph named `graph_name`.
+std::string ToDot(const PetriNet& net,
+                  const std::string& graph_name = "petri_net");
+
+}  // namespace wsn::petri

@@ -1,0 +1,47 @@
+// Enabling rules and the token-moving Fire primitive — shared by the
+// token-game simulator, the reachability generator and the CTMC solver so
+// all engines agree on semantics by construction.
+#pragma once
+
+#include <vector>
+
+#include "petri/net.hpp"
+#include "util/rng.hpp"
+
+namespace wsn::petri {
+
+/// Standard EDSPN enabling: every input arc satisfied
+/// (m[p] >= multiplicity) and every inhibitor arc satisfied
+/// (m[p] < multiplicity).
+bool IsEnabled(const PetriNet& net, TransitionId t, const Marking& m);
+
+/// Fire `t` in `m` (must be enabled): consume input arcs, produce output
+/// arcs.  Inhibitor arcs move no tokens.
+Marking Fire(const PetriNet& net, TransitionId t, const Marking& m);
+
+/// In-place variant.
+void FireInPlace(const PetriNet& net, TransitionId t, Marking& m);
+
+/// All enabled transitions (any kind) in `m`, ascending id.
+std::vector<TransitionId> EnabledTransitions(const PetriNet& net,
+                                             const Marking& m);
+
+/// Enabled immediate transitions of maximal priority in `m` (the conflict
+/// set that competes by weight).  Empty iff the marking is tangible.
+std::vector<TransitionId> EnabledImmediateConflictSet(const PetriNet& net,
+                                                      const Marking& m);
+
+/// Enabled timed transitions in `m` (only meaningful for tangible m).
+std::vector<TransitionId> EnabledTimedTransitions(const PetriNet& net,
+                                                  const Marking& m);
+
+/// True iff no immediate transition is enabled.
+bool IsTangible(const PetriNet& net, const Marking& m);
+
+/// Pick one transition from a non-empty conflict set proportionally to
+/// transition weights.
+TransitionId SampleByWeight(const PetriNet& net,
+                            const std::vector<TransitionId>& conflict_set,
+                            util::Rng& rng);
+
+}  // namespace wsn::petri

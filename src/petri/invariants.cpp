@@ -1,0 +1,175 @@
+#include "petri/invariants.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace wsn::petri {
+
+using util::ModelError;
+using util::Require;
+
+namespace {
+
+long VecGcd(const std::vector<long>& v) {
+  long g = 0;
+  for (long x : v) g = std::gcd(g, std::abs(x));
+  return g == 0 ? 1 : g;
+}
+
+/// Farkas algorithm: find minimal semi-positive solutions y >= 0 of
+/// A y = 0 by row combination on the tableau [A^T | I].
+///
+/// `a` has `rows` constraint rows and `cols` unknowns; we operate on the
+/// tableau rows, one per unknown... concretely we maintain candidate rows
+/// (constraint_part, identity_part) where each candidate is a non-negative
+/// combination of unit vectors; each elimination step zeroes one
+/// constraint coordinate.
+std::vector<InvariantVector> Farkas(
+    const std::vector<std::vector<long>>& a,  // constraints x unknowns
+    std::size_t max_rows) {
+  const std::size_t n_constraints = a.size();
+  const std::size_t n_unknowns = n_constraints ? a[0].size() : 0;
+  if (n_unknowns == 0) return {};
+
+  struct Row {
+    std::vector<long> c;  // residual constraint values (per constraint)
+    std::vector<long> y;  // combination coefficients (the invariant)
+  };
+
+  std::vector<Row> rows(n_unknowns);
+  for (std::size_t u = 0; u < n_unknowns; ++u) {
+    rows[u].c.resize(n_constraints);
+    for (std::size_t k = 0; k < n_constraints; ++k) rows[u].c[k] = a[k][u];
+    rows[u].y.assign(n_unknowns, 0);
+    rows[u].y[u] = 1;
+  }
+
+  for (std::size_t k = 0; k < n_constraints; ++k) {
+    std::vector<Row> next;
+    std::vector<const Row*> pos, neg;
+    for (const Row& r : rows) {
+      if (r.c[k] > 0) {
+        pos.push_back(&r);
+      } else if (r.c[k] < 0) {
+        neg.push_back(&r);
+      } else {
+        next.push_back(r);
+      }
+    }
+    for (const Row* p : pos) {
+      for (const Row* q : neg) {
+        Row combo;
+        const long alpha = -q->c[k];
+        const long beta = p->c[k];
+        combo.c.resize(n_constraints);
+        for (std::size_t j = 0; j < n_constraints; ++j) {
+          combo.c[j] = alpha * p->c[j] + beta * q->c[j];
+        }
+        combo.y.resize(n_unknowns);
+        for (std::size_t j = 0; j < n_unknowns; ++j) {
+          combo.y[j] = alpha * p->y[j] + beta * q->y[j];
+        }
+        const long g = std::gcd(VecGcd(combo.c), VecGcd(combo.y));
+        if (g > 1) {
+          for (long& v : combo.c) v /= g;
+          for (long& v : combo.y) v /= g;
+        }
+        next.push_back(std::move(combo));
+        if (next.size() > max_rows) {
+          throw ModelError(
+              "Farkas tableau exceeded " + std::to_string(max_rows) +
+              " rows; the net has too many invariant candidates");
+        }
+      }
+    }
+    rows = std::move(next);
+  }
+
+  // Rows now satisfy all constraints; normalize, dedupe, keep minimal
+  // support only.
+  std::vector<InvariantVector> invs;
+  for (Row& r : rows) {
+    const long g = VecGcd(r.y);
+    for (long& v : r.y) v /= g;
+    bool nonzero = false;
+    for (long v : r.y) {
+      Require(v >= 0, "Farkas produced a negative coefficient (bug)");
+      if (v != 0) nonzero = true;
+    }
+    if (nonzero) invs.push_back(std::move(r.y));
+  }
+  std::sort(invs.begin(), invs.end());
+  invs.erase(std::unique(invs.begin(), invs.end()), invs.end());
+
+  // Minimal support: drop any invariant whose support strictly contains
+  // another invariant's support.
+  auto support_subset = [](const InvariantVector& small,
+                           const InvariantVector& big) {
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      if (small[i] != 0 && big[i] == 0) return false;
+    }
+    return true;
+  };
+  std::vector<InvariantVector> minimal;
+  for (std::size_t i = 0; i < invs.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < invs.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (support_subset(invs[j], invs[i]) && invs[j] != invs[i]) {
+        dominated = true;
+      }
+    }
+    if (!dominated) minimal.push_back(invs[i]);
+  }
+  return minimal;
+}
+
+}  // namespace
+
+std::vector<InvariantVector> PlaceInvariants(const PetriNet& net,
+                                             std::size_t max_rows) {
+  // Constraints: for each transition t, sum_p C[t][p] y_p = 0.
+  return Farkas(net.IncidenceMatrix(), max_rows);
+}
+
+std::vector<InvariantVector> TransitionInvariants(const PetriNet& net,
+                                                  std::size_t max_rows) {
+  // Constraints: for each place p, sum_t C[t][p] x_t = 0 (transpose).
+  const auto c = net.IncidenceMatrix();
+  std::vector<std::vector<long>> ct(
+      net.PlaceCount(), std::vector<long>(net.TransitionCount(), 0));
+  for (std::size_t t = 0; t < net.TransitionCount(); ++t) {
+    for (std::size_t p = 0; p < net.PlaceCount(); ++p) {
+      ct[p][t] = c[t][p];
+    }
+  }
+  return Farkas(ct, max_rows);
+}
+
+long InvariantTokenSum(const InvariantVector& inv, const Marking& m) {
+  Require(inv.size() == m.size(), "invariant/marking size mismatch");
+  long sum = 0;
+  for (std::size_t p = 0; p < m.size(); ++p) {
+    sum += inv[p] * static_cast<long>(m[p]);
+  }
+  return sum;
+}
+
+bool IsCoveredByPlaceInvariants(const PetriNet& net,
+                                const std::vector<InvariantVector>& invs) {
+  for (std::size_t p = 0; p < net.PlaceCount(); ++p) {
+    bool covered = false;
+    for (const InvariantVector& inv : invs) {
+      if (inv.size() == net.PlaceCount() && inv[p] > 0) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+}  // namespace wsn::petri

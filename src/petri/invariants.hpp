@@ -1,0 +1,40 @@
+// Structural analysis: place (P-) and transition (T-) invariants via the
+// Farkas algorithm on the incidence matrix.
+//
+// A P-invariant y >= 0 satisfies C^T y = 0: the weighted token sum
+// sum_p y_p * m[p] is constant in every reachable marking — the standard
+// sanity check that a net conserves what it should (e.g. the CPU net's
+// Idle+Active token and its StandBy+PowerUp+CPU_ON token are conserved).
+//
+// A T-invariant x >= 0 satisfies C x = 0: firing each transition x_t times
+// returns to the starting marking (cyclic behaviour certificate).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "petri/net.hpp"
+
+namespace wsn::petri {
+
+/// One invariant: integer weights per place (P) or transition (T).
+using InvariantVector = std::vector<long>;
+
+/// All minimal-support semi-positive P-invariants (weights normalized by
+/// their gcd).  `max_rows` guards against combinatorial blow-up.
+std::vector<InvariantVector> PlaceInvariants(const PetriNet& net,
+                                             std::size_t max_rows = 4096);
+
+/// All minimal-support semi-positive T-invariants.
+std::vector<InvariantVector> TransitionInvariants(const PetriNet& net,
+                                                  std::size_t max_rows = 4096);
+
+/// Weighted token sum of `inv` in `m`.
+long InvariantTokenSum(const InvariantVector& inv, const Marking& m);
+
+/// True iff every place appears in some P-invariant with positive weight
+/// (a covered net is structurally bounded).
+bool IsCoveredByPlaceInvariants(const PetriNet& net,
+                                const std::vector<InvariantVector>& invs);
+
+}  // namespace wsn::petri

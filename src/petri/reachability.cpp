@@ -1,0 +1,222 @@
+#include "petri/reachability.hpp"
+
+#include <deque>
+#include <unordered_set>
+
+#include "petri/enabling.hpp"
+#include "util/error.hpp"
+
+namespace wsn::petri {
+
+using util::ModelError;
+using util::Require;
+
+std::size_t MarkingHash::operator()(const Marking& m) const noexcept {
+  // FNV-1a over the token counts.
+  std::size_t h = 1469598103934665603ULL;
+  for (std::uint32_t v : m) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace {
+
+void CheckBound(const Marking& m, std::uint32_t max_tokens) {
+  for (std::uint32_t v : m) {
+    if (v > max_tokens) {
+      throw ModelError(
+          "reachability: place exceeded " + std::to_string(max_tokens) +
+          " tokens; the net appears unbounded (or raise the guard)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> ReachabilityGraph::DeadMarkings(
+    const PetriNet& net) const {
+  std::vector<std::size_t> dead;
+  for (std::size_t i = 0; i < markings.size(); ++i) {
+    if (EnabledTransitions(net, markings[i]).empty()) dead.push_back(i);
+  }
+  return dead;
+}
+
+std::uint32_t ReachabilityGraph::MaxTokens() const noexcept {
+  std::uint32_t best = 0;
+  for (const Marking& m : markings) {
+    for (std::uint32_t v : m) best = std::max(best, v);
+  }
+  return best;
+}
+
+ReachabilityGraph ExploreReachability(const PetriNet& net,
+                                      const ReachabilityOptions& opts) {
+  net.Validate();
+  ReachabilityGraph graph;
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+
+  const Marking m0 = net.InitialMarking();
+  CheckBound(m0, opts.max_tokens_per_place);
+  index.emplace(m0, 0);
+  graph.markings.push_back(m0);
+
+  std::deque<std::size_t> frontier{0};
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    // NOTE: copy the marking — graph.markings may reallocate below.
+    const Marking m = graph.markings[cur];
+    for (TransitionId t = 0; t < net.TransitionCount(); ++t) {
+      if (!IsEnabled(net, t, m)) continue;
+      Marking next = Fire(net, t, m);
+      CheckBound(next, opts.max_tokens_per_place);
+      auto [it, inserted] = index.emplace(next, graph.markings.size());
+      if (inserted) {
+        if (graph.markings.size() >= opts.max_markings) {
+          graph.complete = false;
+          throw ModelError(
+              "reachability: more than " +
+              std::to_string(opts.max_markings) +
+              " markings; the state space is too large or unbounded");
+        }
+        graph.markings.push_back(std::move(next));
+        frontier.push_back(it->second);
+      }
+      graph.edges.push_back({cur, t, it->second});
+    }
+  }
+
+  graph.tangible.resize(graph.markings.size());
+  for (std::size_t i = 0; i < graph.markings.size(); ++i) {
+    graph.tangible[i] = IsTangible(net, graph.markings[i]);
+  }
+  return graph;
+}
+
+namespace {
+
+using Distribution = std::unordered_map<Marking, double, MarkingHash>;
+
+/// Depth-first vanishing resolution with memoization and cycle detection.
+class VanishingResolver {
+ public:
+  VanishingResolver(const PetriNet& net, const ReachabilityOptions& opts)
+      : net_(net), opts_(opts) {}
+
+  const Distribution& Resolve(const Marking& m) {
+    const auto memo_it = memo_.find(m);
+    if (memo_it != memo_.end()) return memo_it->second;
+
+    if (on_stack_.count(m) > 0) {
+      throw ModelError(
+          "vanishing loop: a cycle of immediate transitions never reaches "
+          "a tangible marking");
+    }
+    if (on_stack_.size() > opts_.max_vanishing_depth) {
+      throw ModelError("vanishing chain exceeds depth guard");
+    }
+
+    Distribution dist;
+    const std::vector<TransitionId> conflict =
+        EnabledImmediateConflictSet(net_, m);
+    if (conflict.empty()) {
+      dist.emplace(m, 1.0);
+    } else {
+      on_stack_.insert(m);
+      double total_weight = 0.0;
+      for (TransitionId t : conflict) {
+        total_weight += net_.GetTransition(t).weight;
+      }
+      for (TransitionId t : conflict) {
+        const double p = net_.GetTransition(t).weight / total_weight;
+        Marking next = Fire(net_, t, m);
+        CheckBound(next, opts_.max_tokens_per_place);
+        const Distribution& sub = Resolve(next);
+        for (const auto& [tm, tp] : sub) {
+          dist[tm] += p * tp;
+        }
+      }
+      on_stack_.erase(m);
+    }
+    return memo_.emplace(m, std::move(dist)).first->second;
+  }
+
+ private:
+  const PetriNet& net_;
+  const ReachabilityOptions& opts_;
+  std::unordered_map<Marking, Distribution, MarkingHash> memo_;
+  std::unordered_set<Marking, MarkingHash> on_stack_;
+};
+
+}  // namespace
+
+Distribution ResolveVanishingDistribution(const PetriNet& net,
+                                          const Marking& m,
+                                          const ReachabilityOptions& opts) {
+  VanishingResolver resolver(net, opts);
+  return resolver.Resolve(m);
+}
+
+TangibleGraph BuildTangibleGraph(const PetriNet& net,
+                                 const ReachabilityOptions& opts) {
+  net.Validate();
+  Require(net.AllTimedExponential(),
+          "tangible graph requires all timed transitions exponential; "
+          "use the stage-expansion solver for deterministic transitions");
+
+  TangibleGraph graph;
+  std::unordered_map<Marking, std::size_t, MarkingHash> index;
+  VanishingResolver resolver(net, opts);
+
+  auto intern = [&](const Marking& m, std::deque<std::size_t>& frontier) {
+    auto [it, inserted] = index.emplace(m, graph.markings.size());
+    if (inserted) {
+      if (graph.markings.size() >= opts.max_markings) {
+        throw ModelError("tangible reachability exceeds marking cap");
+      }
+      graph.markings.push_back(m);
+      frontier.push_back(it->second);
+    }
+    return it->second;
+  };
+
+  std::deque<std::size_t> frontier;
+  const Distribution init = resolver.Resolve(net.InitialMarking());
+  std::vector<std::pair<std::size_t, double>> init_entries;
+  for (const auto& [m, p] : init) {
+    init_entries.emplace_back(intern(m, frontier), p);
+  }
+
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    const Marking m = graph.markings[cur];  // copy: vector may reallocate
+    for (TransitionId t = 0; t < net.TransitionCount(); ++t) {
+      const Transition& tr = net.GetTransition(t);
+      if (tr.kind != TransitionKind::kTimed || !IsEnabled(net, t, m)) {
+        continue;
+      }
+      const double rate = std::get<util::Exponential>(
+                              tr.delay->AsVariant())
+                              .rate;
+      Marking fired = Fire(net, t, m);
+      CheckBound(fired, opts.max_tokens_per_place);
+      const Distribution& dist = resolver.Resolve(fired);
+      for (const auto& [tm, tp] : dist) {
+        const std::size_t to = intern(tm, frontier);
+        graph.edges.push_back({cur, t, to, rate * tp});
+      }
+    }
+  }
+
+  graph.initial_distribution.assign(graph.markings.size(), 0.0);
+  for (const auto& [idx, p] : init_entries) {
+    graph.initial_distribution[idx] += p;
+  }
+  return graph;
+}
+
+}  // namespace wsn::petri

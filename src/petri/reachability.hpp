@@ -1,0 +1,80 @@
+// Reachability analysis: full state-space exploration for structural
+// questions (boundedness, deadlock detection) and tangible reachability
+// with vanishing-marking elimination — the front half of the numerical
+// SPN solver.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "petri/net.hpp"
+
+namespace wsn::petri {
+
+/// Hash functor so Markings can key unordered containers.
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept;
+};
+
+struct ReachabilityOptions {
+  std::size_t max_markings = 1u << 20;   ///< exploration cap (throws beyond)
+  std::uint32_t max_tokens_per_place = 1u << 20;  ///< unboundedness guard
+  std::size_t max_vanishing_depth = 1u << 16;     ///< immediate-loop guard
+};
+
+/// An edge of the full reachability graph.
+struct ReachabilityEdge {
+  std::size_t from;      ///< marking index
+  TransitionId transition;
+  std::size_t to;        ///< marking index
+};
+
+/// Full reachability graph (tangible and vanishing markings alike).
+struct ReachabilityGraph {
+  std::vector<Marking> markings;
+  std::vector<ReachabilityEdge> edges;
+  std::vector<bool> tangible;  ///< per marking
+  bool complete = true;        ///< false if the exploration cap was hit
+
+  std::size_t Size() const noexcept { return markings.size(); }
+  /// Markings with no enabled transitions at all.
+  std::vector<std::size_t> DeadMarkings(const PetriNet& net) const;
+  /// Maximum token count observed in any place (bound of the net if
+  /// exploration completed).
+  std::uint32_t MaxTokens() const noexcept;
+};
+
+/// Breadth-first exploration of every reachable marking.
+ReachabilityGraph ExploreReachability(const PetriNet& net,
+                                      const ReachabilityOptions& opts = {});
+
+/// Probability distribution over tangible markings reached from `m` by
+/// resolving immediate transitions (priorities, then weights).  If `m` is
+/// already tangible the result is {m: 1}.  Throws ModelError on vanishing
+/// loops (a cycle of immediate transitions reachable with probability 1
+/// never reaches a tangible marking).
+std::unordered_map<Marking, double, MarkingHash> ResolveVanishingDistribution(
+    const PetriNet& net, const Marking& m,
+    const ReachabilityOptions& opts = {});
+
+/// Tangible reachability graph: states are tangible markings; edges carry
+/// exponential rates with vanishing chains already folded in.  Only valid
+/// for nets whose timed transitions are all exponential (checked).
+struct TangibleEdge {
+  std::size_t from;
+  TransitionId via;    ///< the timed transition that initiated the move
+  std::size_t to;
+  double rate;         ///< exponential rate x vanishing-path probability
+};
+
+struct TangibleGraph {
+  std::vector<Marking> markings;                 ///< tangible only
+  std::vector<TangibleEdge> edges;
+  std::vector<double> initial_distribution;      ///< over markings
+};
+
+TangibleGraph BuildTangibleGraph(const PetriNet& net,
+                                 const ReachabilityOptions& opts = {});
+
+}  // namespace wsn::petri

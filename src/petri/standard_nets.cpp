@@ -1,0 +1,128 @@
+#include "petri/standard_nets.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::petri {
+
+using util::Require;
+
+PetriNet MakeMm1kNet(double lambda, double mu, std::uint32_t capacity) {
+  Require(lambda > 0.0 && mu > 0.0, "rates must be positive");
+  Require(capacity >= 1, "capacity must be >= 1");
+  PetriNet net;
+  const PlaceId queue = net.AddPlace("queue", 0);
+  const TransitionId arrive = net.AddExponentialTransition("arrive", lambda);
+  const TransitionId serve = net.AddExponentialTransition("serve", mu);
+  net.AddOutputArc(arrive, queue);
+  net.AddInhibitorArc(arrive, queue, capacity);  // blocks at K jobs
+  net.AddInputArc(serve, queue);
+  return net;
+}
+
+PetriNet MakePingPongNet(double rate_ping_to_pong, double rate_pong_to_ping) {
+  PetriNet net;
+  const PlaceId ping = net.AddPlace("ping", 1);
+  const PlaceId pong = net.AddPlace("pong", 0);
+  const TransitionId go = net.AddExponentialTransition("go", rate_ping_to_pong);
+  const TransitionId back =
+      net.AddExponentialTransition("back", rate_pong_to_ping);
+  net.AddInputArc(go, ping);
+  net.AddOutputArc(go, pong);
+  net.AddInputArc(back, pong);
+  net.AddOutputArc(back, ping);
+  return net;
+}
+
+PetriNet MakeProducerConsumerNet(double produce_rate, double consume_rate,
+                                 std::uint32_t buffer) {
+  Require(buffer >= 1, "buffer must hold at least one item");
+  PetriNet net;
+  const PlaceId producing = net.AddPlace("producing", 1);
+  const PlaceId produced = net.AddPlace("produced", 0);
+  const PlaceId slots = net.AddPlace("slots", buffer);
+  const PlaceId items = net.AddPlace("items", 0);
+  const PlaceId consuming = net.AddPlace("consuming", 1);
+
+  const TransitionId produce =
+      net.AddExponentialTransition("produce", produce_rate);
+  net.AddInputArc(produce, producing);
+  net.AddOutputArc(produce, produced);
+
+  // Depositing requires a free slot; immediate with top priority.
+  const TransitionId deposit = net.AddImmediateTransition("deposit", 1);
+  net.AddInputArc(deposit, produced);
+  net.AddInputArc(deposit, slots);
+  net.AddOutputArc(deposit, items);
+  net.AddOutputArc(deposit, producing);
+
+  const TransitionId consume =
+      net.AddExponentialTransition("consume", consume_rate);
+  net.AddInputArc(consume, items);
+  net.AddInputArc(consume, consuming);
+  net.AddOutputArc(consume, slots);
+  net.AddOutputArc(consume, consuming);
+  return net;
+}
+
+PetriNet MakeForkJoinNet(std::uint32_t branches, double branch_rate) {
+  Require(branches >= 1, "need at least one branch");
+  PetriNet net;
+  const PlaceId start = net.AddPlace("start", 1);
+  const PlaceId done = net.AddPlace("done", 0);
+  const TransitionId fork = net.AddImmediateTransition("fork", 1);
+  net.AddInputArc(fork, start);
+  const TransitionId join = net.AddImmediateTransition("join", 1);
+  net.AddOutputArc(join, done);
+  for (std::uint32_t b = 0; b < branches; ++b) {
+    const PlaceId running =
+        net.AddPlace("running_" + std::to_string(b), 0);
+    const PlaceId finished =
+        net.AddPlace("finished_" + std::to_string(b), 0);
+    const TransitionId work = net.AddExponentialTransition(
+        "work_" + std::to_string(b), branch_rate);
+    net.AddOutputArc(fork, running);
+    net.AddInputArc(work, running);
+    net.AddOutputArc(work, finished);
+    net.AddInputArc(join, finished);
+  }
+  // Reset: done -> start with an exponential pause so the cycle repeats.
+  const TransitionId reset = net.AddExponentialTransition("reset", branch_rate);
+  net.AddInputArc(reset, done);
+  net.AddOutputArc(reset, start);
+  return net;
+}
+
+PetriNet MakeSharedResourceNet(std::uint32_t users, double work_rate,
+                               double rest_rate) {
+  Require(users >= 1, "need at least one user");
+  PetriNet net;
+  const PlaceId resource = net.AddPlace("resource", 1);
+  for (std::uint32_t u = 0; u < users; ++u) {
+    const std::string id = std::to_string(u);
+    const PlaceId wanting = net.AddPlace("wanting_" + id, 1);
+    const PlaceId using_ = net.AddPlace("using_" + id, 0);
+    const PlaceId resting = net.AddPlace("resting_" + id, 0);
+
+    // Acquire is immediate; weight grows with user index so conflict
+    // resolution is observably biased (tested against the weights).
+    const TransitionId acquire = net.AddImmediateTransition(
+        "acquire_" + id, /*priority=*/1, /*weight=*/1.0 + u);
+    net.AddInputArc(acquire, wanting);
+    net.AddInputArc(acquire, resource);
+    net.AddOutputArc(acquire, using_);
+
+    const TransitionId release =
+        net.AddExponentialTransition("release_" + id, work_rate);
+    net.AddInputArc(release, using_);
+    net.AddOutputArc(release, resting);
+    net.AddOutputArc(release, resource);
+
+    const TransitionId rest =
+        net.AddExponentialTransition("rest_" + id, rest_rate);
+    net.AddInputArc(rest, resting);
+    net.AddOutputArc(rest, wanting);
+  }
+  return net;
+}
+
+}  // namespace wsn::petri

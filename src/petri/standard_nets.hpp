@@ -1,0 +1,37 @@
+// A small library of classic nets with known analytical behaviour.
+// They serve three purposes: validation targets for the simulator and
+// solver (M/M/1, M/M/1/K), teaching examples, and regression fixtures.
+#pragma once
+
+#include <cstdint>
+
+#include "petri/net.hpp"
+
+namespace wsn::petri {
+
+/// M/M/1/K queue as an SPN: place "queue" holds jobs, exponential
+/// "arrive" (rate lambda, inhibited at K) and "serve" (rate mu).
+/// Steady state matches markov::Mm1k exactly.
+PetriNet MakeMm1kNet(double lambda, double mu, std::uint32_t capacity);
+
+/// Cyclic two-state machine: ping/pong with exponential transitions.
+/// pi(ping) = mu/(lambda+mu) in steady state.
+PetriNet MakePingPongNet(double rate_ping_to_pong, double rate_pong_to_ping);
+
+/// Bounded producer/consumer with an intermediate buffer of size `buffer`:
+/// exercises inhibitor arcs and immediate transitions together.
+PetriNet MakeProducerConsumerNet(double produce_rate, double consume_rate,
+                                 std::uint32_t buffer);
+
+/// Fork-join: one token forks into `branches` parallel exponential
+/// activities that must all complete before the join fires.  The marking
+/// m(done) alternates 0/1; P/T-invariants cover the net.
+PetriNet MakeForkJoinNet(std::uint32_t branches, double branch_rate);
+
+/// Dining-philosophers-style shared-resource net with `users` competing
+/// over one resource token via immediate acquire transitions (weights
+/// resolve the conflict).  Used to test weighted conflict resolution.
+PetriNet MakeSharedResourceNet(std::uint32_t users, double work_rate,
+                               double rest_rate);
+
+}  // namespace wsn::petri

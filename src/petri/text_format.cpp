@@ -1,0 +1,225 @@
+#include "petri/text_format.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wsn::petri {
+
+using util::InvalidArgument;
+using util::Require;
+
+namespace {
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+[[noreturn]] void Fail(std::size_t line_no, const std::string& message) {
+  throw InvalidArgument(".spn line " + std::to_string(line_no) + ": " +
+                        message);
+}
+
+double ParseDouble(const std::string& token, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) Fail(line_no, "bad number '" + token + "'");
+    return v;
+  } catch (const std::exception&) {
+    Fail(line_no, "bad number '" + token + "'");
+  }
+}
+
+long ParseLong(const std::string& token, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(token, &used);
+    if (used != token.size()) Fail(line_no, "bad integer '" + token + "'");
+    return v;
+  } catch (const std::exception&) {
+    Fail(line_no, "bad integer '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string SerializeNet(const PetriNet& net) {
+  std::ostringstream os;
+  os << "# EDSPN, " << net.PlaceCount() << " places, "
+     << net.TransitionCount() << " transitions\n";
+  for (std::size_t p = 0; p < net.PlaceCount(); ++p) {
+    const Place& place = net.GetPlace(p);
+    os << "place " << place.name;
+    if (place.initial_tokens != 0) os << " " << place.initial_tokens;
+    os << "\n";
+  }
+  for (std::size_t t = 0; t < net.TransitionCount(); ++t) {
+    const Transition& tr = net.GetTransition(t);
+    os << "transition " << tr.name << " ";
+    if (tr.IsImmediate()) {
+      os << "immediate priority=" << tr.priority << " weight="
+         << FormatDouble(tr.weight);
+    } else {
+      std::visit(
+          [&os](const auto& d) {
+            using T = std::decay_t<decltype(d)>;
+            if constexpr (std::is_same_v<T, util::Exponential>) {
+              os << "exp " << FormatDouble(d.rate);
+            } else if constexpr (std::is_same_v<T, util::Deterministic>) {
+              os << "det " << FormatDouble(d.value);
+            } else if constexpr (std::is_same_v<T, util::Erlang>) {
+              os << "erlang " << d.k << " " << FormatDouble(d.rate);
+            } else if constexpr (std::is_same_v<T, util::Uniform>) {
+              os << "uniform " << FormatDouble(d.low) << " "
+                 << FormatDouble(d.high);
+            } else {
+              throw InvalidArgument(
+                  "serialization supports immediate/exp/det/erlang/uniform "
+                  "transitions only");
+            }
+          },
+          tr.delay->AsVariant());
+    }
+    os << "\n";
+  }
+  for (std::size_t t = 0; t < net.TransitionCount(); ++t) {
+    const Transition& tr = net.GetTransition(t);
+    for (const Arc& a : tr.arcs) {
+      const char* kind = a.kind == ArcKind::kInput      ? "in"
+                         : a.kind == ArcKind::kOutput   ? "out"
+                                                        : "inhibit";
+      os << "arc " << kind << " " << tr.name << " "
+         << net.GetPlace(a.place).name;
+      if (a.multiplicity != 1) os << " " << a.multiplicity;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+PetriNet ParseNet(const std::string& text) {
+  PetriNet net;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+
+    const std::string& directive = tokens[0];
+    if (directive == "place") {
+      if (tokens.size() < 2 || tokens.size() > 3) {
+        Fail(line_no, "expected: place <name> [tokens]");
+      }
+      std::uint32_t tokens0 = 0;
+      if (tokens.size() == 3) {
+        const long v = ParseLong(tokens[2], line_no);
+        if (v < 0) Fail(line_no, "token count must be >= 0");
+        tokens0 = static_cast<std::uint32_t>(v);
+      }
+      net.AddPlace(tokens[1], tokens0);
+    } else if (directive == "transition") {
+      if (tokens.size() < 3) {
+        Fail(line_no, "expected: transition <name> <kind> ...");
+      }
+      const std::string& name = tokens[1];
+      const std::string& kind = tokens[2];
+      if (kind == "immediate") {
+        int priority = 0;
+        double weight = 1.0;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          const auto eq = tokens[i].find('=');
+          if (eq == std::string::npos) {
+            Fail(line_no, "expected key=value, got '" + tokens[i] + "'");
+          }
+          const std::string key = tokens[i].substr(0, eq);
+          const std::string value = tokens[i].substr(eq + 1);
+          if (key == "priority") {
+            priority = static_cast<int>(ParseLong(value, line_no));
+          } else if (key == "weight") {
+            weight = ParseDouble(value, line_no);
+          } else {
+            Fail(line_no, "unknown immediate attribute '" + key + "'");
+          }
+        }
+        net.AddImmediateTransition(name, priority, weight);
+      } else if (kind == "exp") {
+        if (tokens.size() != 4) Fail(line_no, "expected: exp <rate>");
+        net.AddExponentialTransition(name, ParseDouble(tokens[3], line_no));
+      } else if (kind == "det") {
+        if (tokens.size() != 4) Fail(line_no, "expected: det <delay>");
+        net.AddDeterministicTransition(name, ParseDouble(tokens[3], line_no));
+      } else if (kind == "erlang") {
+        if (tokens.size() != 5) Fail(line_no, "expected: erlang <k> <rate>");
+        net.AddTimedTransition(
+            name, util::Distribution(util::Erlang{
+                      static_cast<int>(ParseLong(tokens[3], line_no)),
+                      ParseDouble(tokens[4], line_no)}));
+      } else if (kind == "uniform") {
+        if (tokens.size() != 5) {
+          Fail(line_no, "expected: uniform <low> <high>");
+        }
+        net.AddTimedTransition(
+            name, util::Distribution(util::Uniform{
+                      ParseDouble(tokens[3], line_no),
+                      ParseDouble(tokens[4], line_no)}));
+      } else {
+        Fail(line_no, "unknown transition kind '" + kind + "'");
+      }
+    } else if (directive == "arc") {
+      if (tokens.size() < 4 || tokens.size() > 5) {
+        Fail(line_no, "expected: arc <in|out|inhibit> <transition> <place> "
+                      "[multiplicity]");
+      }
+      std::uint32_t mult = 1;
+      if (tokens.size() == 5) {
+        const long v = ParseLong(tokens[4], line_no);
+        if (v < 1) Fail(line_no, "multiplicity must be >= 1");
+        mult = static_cast<std::uint32_t>(v);
+      }
+      TransitionId t = 0;
+      PlaceId p = 0;
+      try {
+        t = net.TransitionByName(tokens[2]);
+        p = net.PlaceByName(tokens[3]);
+      } catch (const InvalidArgument& e) {
+        Fail(line_no, e.what());
+      }
+      if (tokens[1] == "in") {
+        net.AddInputArc(t, p, mult);
+      } else if (tokens[1] == "out") {
+        net.AddOutputArc(t, p, mult);
+      } else if (tokens[1] == "inhibit") {
+        net.AddInhibitorArc(t, p, mult);
+      } else {
+        Fail(line_no, "unknown arc kind '" + tokens[1] + "'");
+      }
+    } else {
+      Fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  net.Validate();
+  return net;
+}
+
+void WriteNet(std::ostream& os, const PetriNet& net) {
+  os << SerializeNet(net);
+}
+
+PetriNet ReadNet(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return ParseNet(buffer.str());
+}
+
+}  // namespace wsn::petri

@@ -1,0 +1,38 @@
+// A small line-oriented text format for EDSPNs (".spn"), so nets can be
+// versioned, diffed and shared without C++ — the role TimeNET's XML files
+// play for its users.
+//
+// Grammar (one directive per line, '#' starts a comment):
+//
+//   place <name> [tokens]
+//   transition <name> immediate [priority=<int>] [weight=<float>]
+//   transition <name> exp <rate>
+//   transition <name> det <delay>
+//   transition <name> erlang <k> <rate>
+//   transition <name> uniform <low> <high>
+//   arc in <transition> <place> [multiplicity]
+//   arc out <transition> <place> [multiplicity]
+//   arc inhibit <transition> <place> [multiplicity]
+//
+// Names may not contain whitespace.  Serialize/Parse round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "petri/net.hpp"
+
+namespace wsn::petri {
+
+/// Render `net` in the .spn format.
+std::string SerializeNet(const PetriNet& net);
+
+/// Parse a .spn document.  Throws InvalidArgument with a line number on
+/// malformed input; the returned net is Validate()d.
+PetriNet ParseNet(const std::string& text);
+
+/// Stream convenience wrappers.
+void WriteNet(std::ostream& os, const PetriNet& net);
+PetriNet ReadNet(std::istream& is);
+
+}  // namespace wsn::petri

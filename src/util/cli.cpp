@@ -1,0 +1,67 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace wsn::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag (or absent),
+    // in which case treat as boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliArgs::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliArgs::GetString(const std::string& name,
+                               const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+double CliArgs::GetDouble(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  Require(end != it->second.c_str(), "flag --" + name + " is not a number");
+  return v;
+}
+
+long CliArgs::GetInt(const std::string& name, long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  Require(end != it->second.c_str(), "flag --" + name + " is not an integer");
+  return v;
+}
+
+bool CliArgs::GetBool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace wsn::util

@@ -1,0 +1,36 @@
+// Tiny command-line flag parser for the examples and benchmark binaries.
+// Supports `--name value`, `--name=value` and boolean `--name` flags.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsn::util {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  long GetInt(const std::string& name, long fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& Positional() const noexcept {
+    return positional_;
+  }
+
+  const std::string& ProgramName() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wsn::util

@@ -1,0 +1,118 @@
+// Delay distributions used by timed transitions (Petri nets), service and
+// inter-arrival processes (DES), and phase-type approximations (Markov).
+//
+// A Distribution is a small value type (copyable, cheap) describing a
+// non-negative random delay.  Sampling is explicit through Sample(rng) so
+// the simulators control their own generators and streams.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wsn::util {
+
+/// Exponential with rate `rate` (mean 1/rate).
+struct Exponential {
+  double rate;
+};
+
+/// Point mass at `value` (>= 0).  Used for the paper's Power Down Threshold
+/// and Power Up Delay transitions.
+struct Deterministic {
+  double value;
+};
+
+/// Uniform on [low, high].
+struct Uniform {
+  double low;
+  double high;
+};
+
+/// Erlang-k: sum of k iid Exponential(rate) phases; mean k/rate.
+/// This is the method-of-stages building block for approximating
+/// deterministic delays inside Markov chains.
+struct Erlang {
+  int k;
+  double rate;
+};
+
+/// Weibull with shape `k` and scale `lambda`; mean lambda*Gamma(1+1/k).
+struct Weibull {
+  double shape;
+  double scale;
+};
+
+/// Log-normal: exp(N(mu, sigma^2)).
+struct LogNormal {
+  double mu;
+  double sigma;
+};
+
+/// Hyper-exponential: with probability p[i], Exponential(rate[i]).
+/// Captures high-variance (CV > 1) service processes.
+struct HyperExponential {
+  std::vector<double> probabilities;
+  std::vector<double> rates;
+};
+
+/// Tagged union of supported delay distributions.
+class Distribution {
+ public:
+  using Variant = std::variant<Exponential, Deterministic, Uniform, Erlang,
+                               Weibull, LogNormal, HyperExponential>;
+
+  Distribution(Exponential d);        // NOLINT(google-explicit-constructor)
+  Distribution(Deterministic d);      // NOLINT(google-explicit-constructor)
+  Distribution(Uniform d);            // NOLINT(google-explicit-constructor)
+  Distribution(Erlang d);             // NOLINT(google-explicit-constructor)
+  Distribution(Weibull d);            // NOLINT(google-explicit-constructor)
+  Distribution(LogNormal d);          // NOLINT(google-explicit-constructor)
+  Distribution(HyperExponential d);   // NOLINT(google-explicit-constructor)
+
+  /// Draw one variate.
+  double Sample(Rng& rng) const;
+
+  /// Analytical mean.
+  double Mean() const;
+
+  /// Analytical variance.
+  double Variance() const;
+
+  /// Squared coefficient of variation: Var/Mean^2 (0 for Deterministic,
+  /// 1 for Exponential).
+  double Scv() const;
+
+  /// True iff the distribution is memoryless (Exponential).
+  bool IsMemoryless() const noexcept {
+    return std::holds_alternative<Exponential>(v_);
+  }
+
+  /// True iff the distribution is a point mass (Deterministic).
+  bool IsDeterministic() const noexcept {
+    return std::holds_alternative<Deterministic>(v_);
+  }
+
+  /// Human-readable description, e.g. "Exp(rate=2)".
+  std::string Describe() const;
+
+  const Variant& AsVariant() const noexcept { return v_; }
+
+ private:
+  Variant v_;
+};
+
+/// Sample a standard normal via Box–Muller (the cached-pair trick is
+/// deliberately avoided: samplers must be stateless for reproducibility).
+double SampleStandardNormal(Rng& rng);
+
+/// Sample Exponential(rate) by inversion.
+inline double SampleExponential(Rng& rng, double rate) {
+  return -std::log(UniformDoubleOpenLow(rng)) / rate;
+}
+
+}  // namespace wsn::util

@@ -1,0 +1,41 @@
+// Error types shared by all wsn libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wsn::util {
+
+/// Base class for all errors thrown by this project.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-provided parameters are outside their legal domain
+/// (negative rates, empty nets, mismatched dimensions, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge or produces a
+/// result outside its guaranteed tolerance.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a model/state-space operation cannot proceed (unbounded
+/// net during reachability, non-ergodic chain, ...).
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Require `cond`; otherwise throw InvalidArgument with `msg`.
+inline void Require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace wsn::util

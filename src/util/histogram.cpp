@@ -1,0 +1,83 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wsn::util {
+
+Histogram::Histogram(double low, double high, std::size_t bins)
+    : low_(low), high_(high), width_((high - low) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  Require(bins >= 1, "histogram needs at least one bin");
+  Require(high > low, "histogram range must be non-empty");
+}
+
+void Histogram::Add(double x) noexcept {
+  ++total_;
+  if (x < low_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= high_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - low_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::size_t Histogram::BinCount(std::size_t i) const {
+  Require(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::BinLow(std::size_t i) const {
+  Require(i < counts_.size(), "histogram bin out of range");
+  return low_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::BinHigh(std::size_t i) const { return BinLow(i) + width_; }
+
+double Histogram::Density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(BinCount(i)) /
+         (static_cast<double>(total_) * width_);
+}
+
+double Histogram::ChiSquare(const std::vector<double>& expected) const {
+  Require(expected.size() == counts_.size(),
+          "expected probabilities must match bin count");
+  double stat = 0.0;
+  const double n = static_cast<double>(total_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    double obs = static_cast<double>(counts_[i]);
+    if (i == 0) obs += static_cast<double>(underflow_);
+    if (i + 1 == counts_.size()) obs += static_cast<double>(overflow_);
+    const double exp_count = expected[i] * n;
+    if (exp_count <= 0.0) continue;
+    const double d = obs - exp_count;
+    stat += d * d / exp_count;
+  }
+  return stat;
+}
+
+std::string Histogram::Render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(max_width)));
+    os << "[" << BinLow(i) << ", " << BinHigh(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wsn::util

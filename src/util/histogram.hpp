@@ -1,0 +1,48 @@
+// Fixed-bin histogram for distribution diagnostics (latency distributions,
+// goodness-of-fit tests in the RNG test suite, workload validation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsn::util {
+
+/// Equal-width histogram over [low, high) with overflow/underflow bins.
+class Histogram {
+ public:
+  Histogram(double low, double high, std::size_t bins);
+
+  void Add(double x) noexcept;
+
+  std::size_t TotalCount() const noexcept { return total_; }
+  std::size_t BinCount(std::size_t i) const;
+  std::size_t Underflow() const noexcept { return underflow_; }
+  std::size_t Overflow() const noexcept { return overflow_; }
+  std::size_t Bins() const noexcept { return counts_.size(); }
+  double BinLow(std::size_t i) const;
+  double BinHigh(std::size_t i) const;
+  double BinWidth() const noexcept { return width_; }
+
+  /// Empirical density of bin i (count / (total * width)).
+  double Density(std::size_t i) const;
+
+  /// Pearson chi-square statistic against expected bin probabilities
+  /// `expected` (same length as Bins(); must sum to ~1; under/overflow
+  /// are folded into the first/last bin).
+  double ChiSquare(const std::vector<double>& expected) const;
+
+  /// ASCII sparkline-style rendering, for example programs.
+  std::string Render(std::size_t max_width = 50) const;
+
+ private:
+  double low_;
+  double high_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace wsn::util

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace wsn::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard lock(g_mutex);
+  std::clog << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace wsn::util

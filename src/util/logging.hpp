@@ -1,0 +1,46 @@
+// Leveled logging with a process-global threshold.  Deliberately minimal:
+// simulators log at most a handful of lines per run, so no async sinks.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wsn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+/// Emit a message (thread-safe; one line per call).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine LogDebug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine LogInfo() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine LogWarn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine LogError() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace wsn::util

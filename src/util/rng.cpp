@@ -1,0 +1,32 @@
+#include "util/rng.hpp"
+
+namespace wsn::util {
+
+void Xoshiro256StarStar::Jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+      0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        acc[0] ^= state_[0];
+        acc[1] ^= state_[1];
+        acc[2] ^= state_[2];
+        acc[3] ^= state_[3];
+      }
+      (*this)();
+    }
+  }
+  state_ = acc;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::MakeStream(
+    std::uint64_t stream_index) const noexcept {
+  Xoshiro256StarStar out = *this;
+  for (std::uint64_t i = 0; i < stream_index; ++i) out.Jump();
+  return out;
+}
+
+}  // namespace wsn::util

@@ -1,0 +1,134 @@
+// Streaming statistics for simulation output analysis.
+//
+// Simulation estimators in this project fall into two families:
+//   * observation-based (job latencies, counts per replication) — use
+//     RunningStats (Welford's numerically stable online algorithm);
+//   * time-persistent (number of tokens in a place, CPU power state) — use
+//     TimeWeightedStats which integrates a piecewise-constant signal.
+//
+// BatchMeans turns a single long correlated run into approximately
+// independent batch averages; ConfidenceInterval converts either estimator
+// into a Student-t interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wsn::util {
+
+/// Welford online mean/variance over scalar observations.
+class RunningStats {
+ public:
+  void Add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void Merge(const RunningStats& other) noexcept;
+
+  std::size_t Count() const noexcept { return n_; }
+  double Mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double Variance() const noexcept;
+  double StdDev() const noexcept;
+  /// Standard error of the mean.
+  double StdError() const noexcept;
+  double Min() const noexcept { return min_; }
+  double Max() const noexcept { return max_; }
+  double Sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  void Reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time average of a piecewise-constant signal, e.g. tokens in a place.
+///
+/// Usage: call Update(t, value) whenever the signal changes to `value` at
+/// time `t`; call Finish(t_end) once.  Mean() is then the time-weighted
+/// average over [t_start, t_end).
+class TimeWeightedStats {
+ public:
+  explicit TimeWeightedStats(double start_time = 0.0) noexcept
+      : last_time_(start_time), start_time_(start_time) {}
+
+  /// Record that the signal takes `value` from time `now` onward.
+  void Update(double now, double value) noexcept;
+
+  /// Close the observation window at `now` (signal keeps its last value).
+  void Finish(double now) noexcept;
+
+  /// Time-weighted mean over the observed window.
+  double Mean() const noexcept;
+
+  /// Time-weighted second moment -> variance of the signal.
+  double Variance() const noexcept;
+
+  double ElapsedTime() const noexcept { return total_time_; }
+  double CurrentValue() const noexcept { return value_; }
+
+  /// Restart the window at `now`, keeping the current signal value.
+  /// Used to discard the warm-up transient.
+  void ResetWindow(double now) noexcept;
+
+ private:
+  void Accumulate(double now) noexcept;
+
+  double value_ = 0.0;
+  double last_time_ = 0.0;
+  double start_time_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double weighted_sq_sum_ = 0.0;
+  double total_time_ = 0.0;
+  bool has_value_ = false;
+};
+
+/// Two-sided Student-t critical value for confidence `level` (e.g. 0.95)
+/// with `dof` degrees of freedom.  Exact for the tabulated small dofs we
+/// use; falls back to the normal quantile for large dof.
+double StudentTCritical(double level, std::size_t dof);
+
+/// A mean +- half-width interval.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double level = 0.95;
+
+  double Low() const noexcept { return mean - half_width; }
+  double High() const noexcept { return mean + half_width; }
+  bool Contains(double x) const noexcept { return Low() <= x && x <= High(); }
+};
+
+/// Interval from independent replication means.
+ConfidenceInterval IntervalFromStats(const RunningStats& s, double level = 0.95);
+
+/// Batch-means output analysis for one long, autocorrelated run.
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch.
+  explicit BatchMeans(std::size_t batch_size);
+
+  void Add(double x);
+
+  std::size_t CompleteBatches() const noexcept { return batches_.Count(); }
+  /// Grand mean over complete batches.
+  double Mean() const noexcept { return batches_.Mean(); }
+  /// CI treating batch means as iid.
+  ConfidenceInterval Interval(double level = 0.95) const;
+
+  /// Lag-1 autocorrelation between successive batch means; values near 0
+  /// indicate the batch size is large enough.
+  double BatchLag1Autocorrelation() const noexcept;
+
+ private:
+  std::size_t batch_size_;
+  std::size_t in_batch_ = 0;
+  double batch_sum_ = 0.0;
+  RunningStats batches_;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace wsn::util

@@ -1,0 +1,44 @@
+// ASCII table / CSV emitters used by the benchmark harness so every
+// reproduced table and figure prints in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wsn::util {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t Rows() const noexcept { return rows_.size(); }
+
+  /// Render with a rule under the header, columns right-padded.
+  std::string Render() const;
+
+  /// Render as CSV (RFC-4180-lite: quotes cells containing commas).
+  std::string RenderCsv() const;
+
+  /// Write Render() to `os`.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` fixed digits.
+std::string FormatFixed(double v, int precision);
+
+/// Format "mean +- hw" for confidence-interval cells.
+std::string FormatInterval(double mean, double half_width, int precision = 4);
+
+}  // namespace wsn::util

@@ -1,0 +1,108 @@
+#include "wsn/network.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wsn::node {
+
+using util::Require;
+
+double Distance(const Position& a, const Position& b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Network::Network(NetworkConfig config, std::vector<Position> positions)
+    : config_(std::move(config)), positions_(std::move(positions)) {
+  Require(!positions_.empty(), "network needs at least one node");
+  Require(config_.max_hop_m > 0.0, "hop range must be positive");
+}
+
+std::size_t Network::NextHop(std::size_t i) const {
+  Require(i < positions_.size(), "node index out of range");
+  const double to_sink = Distance(positions_[i], config_.sink);
+  if (to_sink <= config_.max_hop_m) return i;  // direct to sink
+
+  std::size_t best = i;
+  double best_remaining = to_sink;
+  for (std::size_t j = 0; j < positions_.size(); ++j) {
+    if (j == i) continue;
+    if (Distance(positions_[i], positions_[j]) > config_.max_hop_m) continue;
+    const double remaining = Distance(positions_[j], config_.sink);
+    if (remaining < best_remaining) {
+      best_remaining = remaining;
+      best = j;
+    }
+  }
+  return best;
+}
+
+NetworkReport Network::Evaluate(const core::CpuEnergyModel& model) const {
+  const std::size_t n = positions_.size();
+
+  // Propagate each node's report rate along its greedy path, summing the
+  // forwarded packet rate per relay.
+  std::vector<double> relay(n, 0.0);
+  std::vector<std::size_t> hop(n);
+  for (std::size_t i = 0; i < n; ++i) hop[i] = NextHop(i);
+
+  const double own_rate =
+      config_.node.cpu.arrival_rate * config_.node.report_fraction;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t cur = i;
+    std::size_t guard = 0;
+    while (hop[cur] != cur) {
+      cur = hop[cur];
+      relay[cur] += own_rate;
+      if (++guard > n) {
+        throw util::ModelError("routing loop: greedy next-hop cycled");
+      }
+    }
+  }
+
+  NetworkReport report;
+  report.nodes.resize(n);
+  double worst_lifetime = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    NodeConfig cfg = config_.node;
+    const std::size_t target = hop[i];
+    cfg.report_distance_m =
+        (target == i) ? Distance(positions_[i], config_.sink)
+                      : Distance(positions_[i], positions_[target]);
+    SensorNode node(cfg);
+    node.SetRelayLoad(relay[i]);
+
+    NodeReport& out = report.nodes[i];
+    out.index = i;
+    out.relay_packets_per_second = relay[i];
+    out.next_hop = target;
+    out.average_power_mw = node.AveragePower(model).Total();
+    out.lifetime_seconds = node.LifetimeSeconds(model);
+    if (out.lifetime_seconds < worst_lifetime) {
+      worst_lifetime = out.lifetime_seconds;
+      report.bottleneck_node = i;
+    }
+  }
+  report.network_lifetime_seconds = worst_lifetime;
+  return report;
+}
+
+std::vector<Position> MakeGrid(std::size_t cols, std::size_t rows,
+                               double spacing_m) {
+  Require(cols >= 1 && rows >= 1, "grid must be non-empty");
+  Require(spacing_m > 0.0, "spacing must be positive");
+  std::vector<Position> out;
+  out.reserve(cols * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      out.push_back({(static_cast<double>(c) + 1.0) * spacing_m,
+                     (static_cast<double>(r) + 1.0) * spacing_m});
+    }
+  }
+  return out;
+}
+
+}  // namespace wsn::node

@@ -1,0 +1,51 @@
+#include "wsn/node.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::node {
+
+using util::Require;
+
+SensorNode::SensorNode(NodeConfig config)
+    : config_(std::move(config)), radio_(config_.radio) {
+  Require(config_.sample_bits > 0, "sample size must be positive");
+  Require(config_.report_distance_m >= 0.0, "distance must be >= 0");
+  Require(config_.listen_duty_cycle >= 0.0 &&
+              config_.listen_duty_cycle <= 1.0,
+          "listen duty cycle must be in [0,1]");
+  Require(config_.report_fraction >= 0.0 && config_.report_fraction <= 1.0,
+          "report fraction must be in [0,1]");
+  config_.cpu_power.Validate();
+}
+
+NodePowerBreakdown SensorNode::AveragePower(
+    const core::CpuEnergyModel& model) const {
+  const core::ModelEvaluation eval = model.Evaluate(config_.cpu);
+
+  NodePowerBreakdown out;
+  out.cpu_mw = energy::AveragePowerMilliwatts(eval.shares, config_.cpu_power);
+
+  // Radio: own reports plus relayed packets, all at the configured hop
+  // distance; relayed packets are received first.
+  const double own_tx_per_s =
+      config_.cpu.arrival_rate * config_.report_fraction;
+  const double tx_per_s = own_tx_per_s + relay_packets_per_second_;
+  const double tx_j_per_s =
+      tx_per_s *
+      radio_.TransmitEnergy(config_.sample_bits, config_.report_distance_m);
+  const double rx_j_per_s =
+      relay_packets_per_second_ * radio_.ReceiveEnergy(config_.sample_bits);
+  out.radio_tx_mw = (tx_j_per_s + rx_j_per_s) * 1000.0;
+  out.radio_listen_mw =
+      config_.listen_duty_cycle * config_.radio.listen_mw;
+  out.radio_sleep_mw =
+      (1.0 - config_.listen_duty_cycle) * config_.radio.sleep_mw;
+  return out;
+}
+
+double SensorNode::LifetimeSeconds(const core::CpuEnergyModel& model) const {
+  const energy::Battery battery(config_.battery_mah, config_.battery_volts);
+  return battery.LifetimeSeconds(AveragePower(model).Total());
+}
+
+}  // namespace wsn::node

@@ -1,0 +1,70 @@
+// Whole-node energy model: the paper's CPU model composed with a radio
+// and a battery — the application its introduction motivates (estimating
+// and extending sensor-node lifetime).
+#pragma once
+
+#include <cstddef>
+
+#include "core/model.hpp"
+#include "core/params.hpp"
+#include "energy/battery.hpp"
+#include "energy/power_state.hpp"
+#include "energy/radio.hpp"
+
+namespace wsn::node {
+
+struct NodeConfig {
+  /// CPU workload/power-management parameters.  The sensing rate doubles
+  /// as the CPU job arrival rate: every sample is a job.
+  core::CpuParams cpu;
+  energy::PowerStateTable cpu_power;  ///< e.g. energy::Pxa271()
+
+  energy::RadioParameters radio;
+  std::size_t sample_bits = 256;     ///< payload per reported sample
+  double report_distance_m = 50.0;   ///< TX distance to parent/sink
+  double listen_duty_cycle = 0.01;   ///< fraction of time in idle listen
+  /// Fraction of samples actually transmitted (in-node aggregation).
+  double report_fraction = 1.0;
+
+  double battery_mah = 2500.0;
+  double battery_volts = 3.0;
+};
+
+/// Per-component average power breakdown (mW).
+struct NodePowerBreakdown {
+  double cpu_mw = 0.0;
+  double radio_tx_mw = 0.0;
+  double radio_listen_mw = 0.0;
+  double radio_sleep_mw = 0.0;
+
+  double Total() const noexcept {
+    return cpu_mw + radio_tx_mw + radio_listen_mw + radio_sleep_mw;
+  }
+};
+
+class SensorNode {
+ public:
+  explicit SensorNode(NodeConfig config);
+
+  const NodeConfig& Config() const noexcept { return config_; }
+
+  /// Average power with the CPU state shares predicted by `model`.
+  NodePowerBreakdown AveragePower(const core::CpuEnergyModel& model) const;
+
+  /// Node lifetime (seconds) on the configured battery under `model`.
+  double LifetimeSeconds(const core::CpuEnergyModel& model) const;
+
+  /// Additional relay traffic (packets/s forwarded for other nodes);
+  /// included in the radio TX/RX budget.
+  void SetRelayLoad(double packets_per_second) noexcept {
+    relay_packets_per_second_ = packets_per_second;
+  }
+  double RelayLoad() const noexcept { return relay_packets_per_second_; }
+
+ private:
+  NodeConfig config_;
+  energy::RadioModel radio_;
+  double relay_packets_per_second_ = 0.0;
+};
+
+}  // namespace wsn::node

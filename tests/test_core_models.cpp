@@ -1,0 +1,169 @@
+// Cross-model validation — the scientific core of the reproduction:
+// all models agree closely at small Power Up Delay, the Petri net tracks
+// simulation at every delay, and the supplementary-variable Markov
+// approximation drifts as the delay grows (the paper's headline claim).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/models.hpp"
+
+namespace wsn::core {
+namespace {
+
+EvalConfig FastConfig() {
+  EvalConfig cfg;
+  cfg.sim_time = 1000.0;  // paper Table 2
+  cfg.replications = 24;
+  cfg.seed = 7;
+  return cfg;
+}
+
+CpuParams PaperParams(double pdt, double pud) {
+  CpuParams p;
+  p.arrival_rate = 1.0;
+  p.service_rate = 10.0;
+  p.power_down_threshold = pdt;
+  p.power_up_delay = pud;
+  return p;
+}
+
+double MaxShareDelta(const ModelEvaluation& a, const ModelEvaluation& b) {
+  return std::max({std::abs(a.shares.standby - b.shares.standby),
+                   std::abs(a.shares.powerup - b.shares.powerup),
+                   std::abs(a.shares.idle - b.shares.idle),
+                   std::abs(a.shares.active - b.shares.active)});
+}
+
+TEST(Models, AllShapesSumToOne) {
+  const auto params = PaperParams(0.3, 0.3);
+  const EvalConfig cfg = FastConfig();
+  for (const auto& model : MakePaperModels(cfg)) {
+    const ModelEvaluation eval = model->Evaluate(params);
+    EXPECT_NO_THROW(eval.shares.Validate(1e-3)) << model->Name();
+  }
+}
+
+TEST(Models, NamesAreDistinct) {
+  const auto models = MakePaperModels(FastConfig());
+  ASSERT_EQ(models.size(), 3u);
+  EXPECT_EQ(models[0]->Name(), "simulation");
+  EXPECT_EQ(models[1]->Name(), "markov");
+  EXPECT_EQ(models[2]->Name(), "petri-net");
+}
+
+// Paper Fig. 4 regime: small PUD -> all three models agree.
+class SmallDelayAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(SmallDelayAgreement, ThreeWayAgreementAtSmallPud) {
+  const double pdt = GetParam();
+  const auto params = PaperParams(pdt, 0.001);
+  EvalConfig cfg = FastConfig();
+  cfg.sim_time = 4000.0;
+
+  const SimulationCpuModel sim(cfg);
+  const MarkovCpuModel markov;
+  const PetriNetCpuModel pn(cfg);
+
+  const auto es = sim.Evaluate(params);
+  const auto em = markov.Evaluate(params);
+  const auto ep = pn.Evaluate(params);
+
+  EXPECT_LT(MaxShareDelta(es, em), 0.02) << "sim vs markov, pdt=" << pdt;
+  EXPECT_LT(MaxShareDelta(es, ep), 0.02) << "sim vs pn, pdt=" << pdt;
+  EXPECT_LT(MaxShareDelta(em, ep), 0.02) << "markov vs pn, pdt=" << pdt;
+}
+
+INSTANTIATE_TEST_SUITE_P(PdtSweep, SmallDelayAgreement,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0));
+
+TEST(Models, PetriNetTracksSimulationAtLargePud) {
+  // PUD = 10 s: the regime where the paper shows the Markov model failing
+  // while the Petri net stays faithful.
+  const auto params = PaperParams(0.5, 10.0);
+  EvalConfig cfg = FastConfig();
+  cfg.sim_time = 8000.0;
+  cfg.replications = 16;
+
+  const SimulationCpuModel sim(cfg);
+  const PetriNetCpuModel pn(cfg);
+  const MarkovCpuModel markov;
+
+  const auto es = sim.Evaluate(params);
+  const auto ep = pn.Evaluate(params);
+  const auto em = markov.Evaluate(params);
+
+  const double pn_err = MaxShareDelta(es, ep);
+  const double markov_err = MaxShareDelta(es, em);
+  EXPECT_LT(pn_err, 0.03);
+  // The paper's Table 4 shows the Markov error dwarfing the PN error at
+  // PUD = 10 (116.8 vs 16.0 summed pct points).
+  EXPECT_GT(markov_err, 3.0 * pn_err);
+}
+
+TEST(Models, MarkovErrorGrowsWithPud) {
+  EvalConfig cfg = FastConfig();
+  cfg.sim_time = 6000.0;
+  const SimulationCpuModel sim(cfg);
+  const MarkovCpuModel markov;
+  double prev_err = -1.0;
+  for (double pud : {0.001, 0.3, 10.0}) {
+    const auto params = PaperParams(0.4, pud);
+    const double err =
+        MaxShareDelta(sim.Evaluate(params), markov.Evaluate(params));
+    EXPECT_GT(err, prev_err) << "pud=" << pud;
+    prev_err = err;
+  }
+}
+
+TEST(Models, StagesModelConvergesToSimulation) {
+  const auto params = PaperParams(0.3, 0.3);
+  EvalConfig cfg = FastConfig();
+  cfg.sim_time = 6000.0;
+  const SimulationCpuModel sim(cfg);
+  const auto es = sim.Evaluate(params);
+
+  const double err1 =
+      MaxShareDelta(es, StagesMarkovCpuModel(1).Evaluate(params));
+  const double err16 =
+      MaxShareDelta(es, StagesMarkovCpuModel(16).Evaluate(params));
+  EXPECT_LT(err16, err1 + 1e-9);
+  EXPECT_LT(err16, 0.02);
+}
+
+TEST(Models, PetriSolverMatchesPetriSimulation) {
+  const auto params = PaperParams(0.2, 0.1);
+  EvalConfig cfg = FastConfig();
+  cfg.sim_time = 6000.0;
+  const PetriNetCpuModel pn_sim(cfg);
+  const PetriSolverCpuModel pn_solve(24);
+  EXPECT_LT(MaxShareDelta(pn_sim.Evaluate(params), pn_solve.Evaluate(params)),
+            0.02);
+}
+
+TEST(Models, SimulationReportsConfidenceInterval) {
+  const auto params = PaperParams(0.3, 0.3);
+  const SimulationCpuModel sim(FastConfig());
+  EXPECT_GT(sim.Evaluate(params).share_ci_halfwidth, 0.0);
+}
+
+TEST(Models, LatencyAndJobsConsistentViaLittlesLaw) {
+  const auto params = PaperParams(0.3, 0.3);
+  for (const auto& model : MakePaperModels(FastConfig())) {
+    const auto eval = model->Evaluate(params);
+    if (eval.mean_jobs > 0.0 && eval.mean_latency > 0.0) {
+      EXPECT_NEAR(eval.mean_latency, eval.mean_jobs / params.arrival_rate,
+                  0.05 * eval.mean_latency + 1e-6)
+          << model->Name();
+    }
+  }
+}
+
+TEST(Models, EnergyHelperUsesEq25) {
+  ModelEvaluation eval;
+  eval.shares = {1.0, 0.0, 0.0, 0.0};  // all standby
+  EXPECT_NEAR(EnergyJoules(eval, energy::Pxa271(), 1000.0), 17.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace wsn::core

@@ -1,0 +1,138 @@
+// Distribution sampling: every supported distribution's sample mean and
+// variance must converge to the analytical values (parameterized property
+// sweep), plus domain validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+#include "util/statistics.hpp"
+
+namespace wsn::util {
+namespace {
+
+struct DistCase {
+  const char* label;
+  Distribution dist;
+};
+
+class DistributionMoments : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionMoments, SampleMomentsMatchAnalytical) {
+  const Distribution& d = GetParam().dist;
+  Rng rng(0xabcdef);
+  RunningStats stats;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) stats.Add(d.Sample(rng));
+
+  const double mean = d.Mean();
+  const double sd = std::sqrt(d.Variance());
+  // Standard error of the mean; 5 sigma tolerance keeps flakiness ~0.
+  const double mean_tol =
+      5.0 * sd / std::sqrt(static_cast<double>(n)) + 1e-12;
+  EXPECT_NEAR(stats.Mean(), mean, mean_tol) << GetParam().label;
+  if (d.Variance() > 0.0) {
+    EXPECT_NEAR(stats.Variance(), d.Variance(), 0.05 * d.Variance() + 1e-12)
+        << GetParam().label;
+  } else {
+    EXPECT_NEAR(stats.Variance(), 0.0, 1e-12) << GetParam().label;
+  }
+}
+
+TEST_P(DistributionMoments, SamplesNonNegative) {
+  const Distribution& d = GetParam().dist;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(d.Sample(rng), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistributionMoments,
+    ::testing::Values(
+        DistCase{"exp1", Distribution(Exponential{1.0})},
+        DistCase{"exp10", Distribution(Exponential{10.0})},
+        DistCase{"det0", Distribution(Deterministic{0.0})},
+        DistCase{"det2_5", Distribution(Deterministic{2.5})},
+        DistCase{"unif", Distribution(Uniform{0.5, 1.5})},
+        DistCase{"erlang3", Distribution(Erlang{3, 2.0})},
+        DistCase{"erlang20", Distribution(Erlang{20, 20.0})},
+        DistCase{"weibull2", Distribution(Weibull{2.0, 1.0})},
+        DistCase{"lognorm", Distribution(LogNormal{0.0, 0.5})},
+        DistCase{"hyperexp",
+                 Distribution(HyperExponential{{0.3, 0.7}, {0.5, 5.0}})}),
+    [](const auto& info) { return std::string(info.param.label); });
+
+TEST(Distribution, ExponentialScvIsOne) {
+  EXPECT_NEAR(Distribution(Exponential{3.0}).Scv(), 1.0, 1e-12);
+}
+
+TEST(Distribution, DeterministicScvIsZero) {
+  EXPECT_EQ(Distribution(Deterministic{4.0}).Scv(), 0.0);
+}
+
+TEST(Distribution, ErlangScvIsOneOverK) {
+  EXPECT_NEAR(Distribution(Erlang{4, 1.0}).Scv(), 0.25, 1e-12);
+}
+
+TEST(Distribution, HyperExponentialScvExceedsOne) {
+  const Distribution d(HyperExponential{{0.9, 0.1}, {10.0, 0.1}});
+  EXPECT_GT(d.Scv(), 1.0);
+}
+
+TEST(Distribution, MemorylessOnlyForExponential) {
+  EXPECT_TRUE(Distribution(Exponential{1.0}).IsMemoryless());
+  EXPECT_FALSE(Distribution(Deterministic{1.0}).IsMemoryless());
+  EXPECT_FALSE(Distribution(Erlang{2, 1.0}).IsMemoryless());
+}
+
+TEST(Distribution, DeterministicFlag) {
+  EXPECT_TRUE(Distribution(Deterministic{1.0}).IsDeterministic());
+  EXPECT_FALSE(Distribution(Exponential{1.0}).IsDeterministic());
+}
+
+TEST(Distribution, RejectsBadParameters) {
+  EXPECT_THROW(Distribution(Exponential{0.0}), InvalidArgument);
+  EXPECT_THROW(Distribution(Exponential{-1.0}), InvalidArgument);
+  EXPECT_THROW(Distribution(Deterministic{-0.1}), InvalidArgument);
+  EXPECT_THROW(Distribution(Uniform{2.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Distribution(Erlang{0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Distribution(Weibull{0.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Distribution(LogNormal{0.0, 0.0}), InvalidArgument);
+  EXPECT_THROW(Distribution(HyperExponential{{0.5, 0.4}, {1.0, 2.0}}),
+               InvalidArgument);
+  EXPECT_THROW(Distribution(HyperExponential{{1.0}, {1.0, 2.0}}),
+               InvalidArgument);
+}
+
+TEST(Distribution, DescribeMentionsKind) {
+  EXPECT_NE(Distribution(Exponential{2.0}).Describe().find("Exp"),
+            std::string::npos);
+  EXPECT_NE(Distribution(Deterministic{2.0}).Describe().find("Det"),
+            std::string::npos);
+}
+
+TEST(Distribution, ErlangEqualsSumOfExponentialsInDistribution) {
+  // Compare Erlang(5, 2) sample CDF at a few quantile points against the
+  // empirical CDF of summed exponentials.
+  Rng rng(99);
+  const Distribution erlang(Erlang{5, 2.0});
+  int below = 0;
+  const int n = 200000;
+  const double x = 2.5;  // mean
+  for (int i = 0; i < n; ++i) {
+    if (erlang.Sample(rng) <= x) ++below;
+  }
+  // P(Erlang(5,2) <= 2.5) = gammainc; reference value ~0.559507.
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5595, 0.01);
+}
+
+TEST(SampleStandardNormal, MomentsMatch) {
+  Rng rng(123);
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.Add(SampleStandardNormal(rng));
+  EXPECT_NEAR(stats.Mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.Variance(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace wsn::util

@@ -1,0 +1,118 @@
+// DTMC: validation, evolution, stationary and absorbing-chain analysis
+// (gambler's ruin closed forms).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/dtmc.hpp"
+#include "util/error.hpp"
+
+namespace wsn::markov {
+namespace {
+
+TEST(Dtmc, ValidateDetectsBadRows) {
+  Dtmc chain(2);
+  chain.SetProbability(0, 0, 0.5);
+  chain.SetProbability(0, 1, 0.4);  // row 0 sums to .9
+  chain.SetProbability(1, 0, 1.0);
+  EXPECT_THROW(chain.Validate(), util::ModelError);
+}
+
+TEST(Dtmc, EvolveOneStep) {
+  Dtmc chain(2);
+  chain.SetProbability(0, 1, 1.0);
+  chain.SetProbability(1, 0, 1.0);
+  const auto p = chain.Evolve({1.0, 0.0}, 1);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+  const auto p2 = chain.Evolve({1.0, 0.0}, 2);
+  EXPECT_DOUBLE_EQ(p2[0], 1.0);
+}
+
+TEST(Dtmc, StationaryTwoState) {
+  Dtmc chain(2);
+  chain.SetProbability(0, 0, 0.5);
+  chain.SetProbability(0, 1, 0.5);
+  chain.SetProbability(1, 0, 0.25);
+  chain.SetProbability(1, 1, 0.75);
+  const auto pi = chain.StationaryDistribution();
+  EXPECT_NEAR(pi[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pi[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Dtmc, EvolveConvergesToStationary) {
+  Dtmc chain(3);
+  chain.SetProbability(0, 1, 0.6);
+  chain.SetProbability(0, 0, 0.4);
+  chain.SetProbability(1, 2, 0.7);
+  chain.SetProbability(1, 1, 0.3);
+  chain.SetProbability(2, 0, 0.9);
+  chain.SetProbability(2, 2, 0.1);
+  const auto pi = chain.StationaryDistribution();
+  const auto p = chain.Evolve({1.0, 0.0, 0.0}, 500);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p[i], pi[i], 1e-9);
+}
+
+// Gambler's ruin on {0..4} with fair coin: absorption at 4 from state i
+// has probability i/4; expected steps i*(4-i).
+TEST(Dtmc, GamblersRuinFairCoin) {
+  const std::size_t n = 5;
+  Dtmc chain(n);
+  chain.SetProbability(0, 0, 1.0);
+  chain.SetProbability(4, 4, 1.0);
+  for (std::size_t i = 1; i < 4; ++i) {
+    chain.SetProbability(i, i - 1, 0.5);
+    chain.SetProbability(i, i + 1, 0.5);
+  }
+  const std::vector<bool> absorbing{true, false, false, false, true};
+  const auto b = chain.AbsorptionProbabilities(absorbing);
+  // Transient order: states 1, 2, 3; absorbing order: 0, 4.
+  EXPECT_NEAR(b(0, 1), 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(b(1, 1), 2.0 / 4.0, 1e-12);
+  EXPECT_NEAR(b(2, 1), 3.0 / 4.0, 1e-12);
+  // Rows sum to one (eventual absorption is certain).
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_NEAR(b(r, 0) + b(r, 1), 1.0, 1e-12);
+  }
+  const auto steps = chain.ExpectedStepsToAbsorption(absorbing);
+  EXPECT_NEAR(steps[0], 3.0, 1e-12);  // 1*(4-1)
+  EXPECT_NEAR(steps[1], 4.0, 1e-12);  // 2*(4-2)
+  EXPECT_NEAR(steps[2], 3.0, 1e-12);  // 3*(4-3)
+}
+
+TEST(Dtmc, BiasedRuinMatchesClosedForm) {
+  // p up = .6, q down = .4 on {0..3}; P(absorb at 3 | start 1) =
+  // (1-(q/p)^1)/(1-(q/p)^3).
+  Dtmc chain(4);
+  chain.SetProbability(0, 0, 1.0);
+  chain.SetProbability(3, 3, 1.0);
+  for (std::size_t i = 1; i < 3; ++i) {
+    chain.SetProbability(i, i + 1, 0.6);
+    chain.SetProbability(i, i - 1, 0.4);
+  }
+  const std::vector<bool> absorbing{true, false, false, true};
+  const auto b = chain.AbsorptionProbabilities(absorbing);
+  const double r = 0.4 / 0.6;
+  const double expected = (1.0 - r) / (1.0 - r * r * r);
+  EXPECT_NEAR(b(0, 1), expected, 1e-12);
+}
+
+TEST(Dtmc, AddProbabilityAccumulates) {
+  Dtmc chain(2);
+  chain.AddProbability(0, 1, 0.5);
+  chain.AddProbability(0, 1, 0.5);
+  chain.SetProbability(1, 0, 1.0);
+  chain.Validate();
+}
+
+TEST(Dtmc, InvalidUsageThrows) {
+  Dtmc chain(2);
+  EXPECT_THROW(chain.SetProbability(0, 3, 0.5), util::InvalidArgument);
+  EXPECT_THROW(chain.SetProbability(0, 1, 1.5), util::InvalidArgument);
+  EXPECT_THROW(chain.AbsorptionProbabilities({true}), util::InvalidArgument);
+  EXPECT_THROW(chain.AbsorptionProbabilities({false, false}),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsn::markov

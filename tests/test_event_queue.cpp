@@ -1,0 +1,152 @@
+// Pending-event set implementations: ordering, FIFO tie-breaks,
+// cancellation, and cross-implementation equivalence on random workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "des/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wsn::des {
+namespace {
+
+using Factory = std::unique_ptr<EventQueue> (*)();
+
+std::unique_ptr<EventQueue> Heap() { return MakeBinaryHeapQueue(); }
+std::unique_ptr<EventQueue> List() { return MakeSortedListQueue(); }
+std::unique_ptr<EventQueue> Calendar() { return MakeCalendarQueue(); }
+
+class EventQueueContract : public ::testing::TestWithParam<Factory> {};
+
+TEST_P(EventQueueContract, PopsInTimeOrder) {
+  auto q = GetParam()();
+  q->Push(3.0, 1);
+  q->Push(1.0, 2);
+  q->Push(2.0, 3);
+  EXPECT_EQ(q->PopMin().id, 2u);
+  EXPECT_EQ(q->PopMin().id, 3u);
+  EXPECT_EQ(q->PopMin().id, 1u);
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST_P(EventQueueContract, FifoTieBreakByInsertionId) {
+  auto q = GetParam()();
+  q->Push(5.0, 10);
+  q->Push(5.0, 11);
+  q->Push(5.0, 12);
+  EXPECT_EQ(q->PopMin().id, 10u);
+  EXPECT_EQ(q->PopMin().id, 11u);
+  EXPECT_EQ(q->PopMin().id, 12u);
+}
+
+TEST_P(EventQueueContract, PeekDoesNotRemove) {
+  auto q = GetParam()();
+  q->Push(1.0, 1);
+  EXPECT_EQ(q->PeekMin().id, 1u);
+  EXPECT_EQ(q->Size(), 1u);
+  EXPECT_EQ(q->PopMin().id, 1u);
+}
+
+TEST_P(EventQueueContract, CancelRemovesEvent) {
+  auto q = GetParam()();
+  q->Push(1.0, 1);
+  q->Push(2.0, 2);
+  EXPECT_TRUE(q->Cancel(1));
+  EXPECT_EQ(q->Size(), 1u);
+  EXPECT_EQ(q->PopMin().id, 2u);
+}
+
+TEST_P(EventQueueContract, CancelUnknownReturnsFalse) {
+  auto q = GetParam()();
+  q->Push(1.0, 1);
+  EXPECT_FALSE(q->Cancel(99));
+  EXPECT_EQ(q->Size(), 1u);
+}
+
+TEST_P(EventQueueContract, DoubleCancelReturnsFalse) {
+  auto q = GetParam()();
+  q->Push(1.0, 1);
+  EXPECT_TRUE(q->Cancel(1));
+  EXPECT_FALSE(q->Cancel(1));
+  EXPECT_TRUE(q->Empty());
+}
+
+TEST_P(EventQueueContract, PopOnEmptyThrows) {
+  auto q = GetParam()();
+  EXPECT_THROW(q->PopMin(), util::InvalidArgument);
+  EXPECT_THROW(q->PeekMin(), util::InvalidArgument);
+}
+
+TEST_P(EventQueueContract, LargeRandomWorkloadStaysSorted) {
+  auto q = GetParam()();
+  util::Rng rng(31);
+  EventId next_id = 1;
+  for (int i = 0; i < 5000; ++i) {
+    q->Push(util::UniformDouble(rng) * 1000.0, next_id++);
+  }
+  double last = -1.0;
+  while (!q->Empty()) {
+    const QueuedEvent e = q->PopMin();
+    ASSERT_GE(e.time, last);
+    last = e.time;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, EventQueueContract,
+                         ::testing::Values(&Heap, &List, &Calendar),
+                         [](const auto& info) {
+                           switch (info.index) {
+                             case 0: return std::string("BinaryHeap");
+                             case 1: return std::string("SortedList");
+                             default: return std::string("Calendar");
+                           }
+                         });
+
+TEST(EventQueueEquivalence, AllImplementationsAgreeOnMixedOps) {
+  auto a = MakeBinaryHeapQueue();
+  auto b = MakeSortedListQueue();
+  auto c = MakeCalendarQueue();
+  util::Rng rng(17);
+  EventId next_id = 1;
+  std::vector<EventId> live;
+
+  for (int step = 0; step < 20000; ++step) {
+    const double op = util::UniformDouble(rng);
+    if (op < 0.55 || live.empty()) {
+      const double t = util::UniformDouble(rng) * 100.0;
+      const EventId id = next_id++;
+      a->Push(t, id);
+      b->Push(t, id);
+      c->Push(t, id);
+      live.push_back(id);
+    } else if (op < 0.8) {
+      if (a->Empty()) continue;
+      const QueuedEvent ea = a->PopMin();
+      const QueuedEvent eb = b->PopMin();
+      const QueuedEvent ec = c->PopMin();
+      ASSERT_EQ(ea.id, eb.id);
+      ASSERT_EQ(ea.id, ec.id);
+      ASSERT_DOUBLE_EQ(ea.time, eb.time);
+      std::erase(live, ea.id);
+    } else {
+      const std::size_t pick = util::UniformBelow(rng, live.size());
+      const EventId id = live[pick];
+      ASSERT_EQ(a->Cancel(id), b->Cancel(id));
+      ASSERT_TRUE(c->Cancel(id));
+      std::erase(live, id);
+    }
+    ASSERT_EQ(a->Size(), b->Size());
+    ASSERT_EQ(a->Size(), c->Size());
+  }
+}
+
+TEST(QueueFactory, MakeQueueByKind) {
+  EXPECT_EQ(MakeQueue(QueueKind::kBinaryHeap)->Name(), "binary-heap");
+  EXPECT_EQ(MakeQueue(QueueKind::kSortedList)->Name(), "sorted-list");
+  EXPECT_EQ(MakeQueue(QueueKind::kCalendar)->Name(), "calendar");
+}
+
+}  // namespace
+}  // namespace wsn::des

@@ -1,0 +1,103 @@
+// Histogram binning, densities and the chi-square statistic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace wsn::util {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(0.9);
+  h.Add(5.5);
+  h.Add(9.99);
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(5), 1u);
+  EXPECT_EQ(h.BinCount(9), 1u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // right edge is exclusive
+  h.Add(2.0);
+  EXPECT_EQ(h.Underflow(), 1u);
+  EXPECT_EQ(h.Overflow(), 2u);
+  EXPECT_EQ(h.TotalCount(), 3u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_NEAR(h.BinLow(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.BinHigh(0), 1.5, 1e-12);
+  EXPECT_NEAR(h.BinLow(3), 2.5, 1e-12);
+  EXPECT_NEAR(h.BinWidth(), 0.5, 1e-12);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 1.0, 20);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.Add(UniformDouble(rng));
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.Bins(); ++b) {
+    integral += h.Density(b) * h.BinWidth();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Histogram, ChiSquareSmallForMatchingDistribution) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(2);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) h.Add(UniformDouble(rng));
+  const std::vector<double> expected(10, 0.1);
+  // Chi-square with 9 dof: mean 9, sd ~4.24; 40 is far beyond 5 sigma.
+  EXPECT_LT(h.ChiSquare(expected), 40.0);
+}
+
+TEST(Histogram, ChiSquareLargeForMismatchedDistribution) {
+  Histogram h(0.0, 1.0, 10);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = UniformDouble(rng);
+    h.Add(u * u);  // skewed toward 0
+  }
+  const std::vector<double> expected(10, 0.1);
+  EXPECT_GT(h.ChiSquare(expected), 1000.0);
+}
+
+TEST(Histogram, ExponentialGoodnessOfFit) {
+  const double rate = 2.0;
+  Histogram h(0.0, 3.0, 12);
+  Rng rng(4);
+  for (int i = 0; i < 200000; ++i) h.Add(SampleExponential(rng, rate));
+  std::vector<double> expected(12);
+  for (std::size_t b = 0; b < 12; ++b) {
+    expected[b] = std::exp(-rate * h.BinLow(b)) - std::exp(-rate * h.BinHigh(b));
+  }
+  // Fold tail mass into last bin as ChiSquare does with overflow.
+  expected.back() += std::exp(-rate * 3.0);
+  EXPECT_LT(h.ChiSquare(expected), 60.0);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 1.0, 5);
+  h.Add(0.1);
+  const std::string text = h.Render();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+}  // namespace
+}  // namespace wsn::util

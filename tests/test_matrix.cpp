@@ -1,0 +1,108 @@
+// Dense matrix arithmetic and vector helpers.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+
+namespace wsn::linalg {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.Rows(), 2u);
+  EXPECT_EQ(m.Cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+  EXPECT_THROW(m.At(2, 0), util::InvalidArgument);
+}
+
+TEST(Matrix, RaggedInitializerRejected) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), util::InvalidArgument);
+}
+
+TEST(Matrix, IdentityProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::Identity(2);
+  const Matrix p = a * i;
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 4.0);
+}
+
+TEST(Matrix, ProductAgainstHandComputed) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix p = a * b;
+  EXPECT_DOUBLE_EQ(p(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(p(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(p(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(p(1, 1), 154.0);
+}
+
+TEST(Matrix, ProductDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, util::InvalidArgument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.Transpose();
+  EXPECT_EQ(t.Rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix tt = t.Transpose();
+  EXPECT_DOUBLE_EQ(tt(1, 2), 6.0);
+}
+
+TEST(Matrix, AddSubtractScale) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{4.0, 3.0}, {2.0, 1.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(0, 0), 5.0);
+  const Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(1, 1), 3.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+}
+
+TEST(Matrix, ApplyAndApplyTransposed) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x{1.0, 1.0};
+  const auto y = a.Apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const auto z = a.ApplyTransposed(x);  // row vector times A
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  const Matrix a{{-9.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.MaxAbs(), 9.0);
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf(v), 4.0);
+}
+
+TEST(VectorOps, DotAndSubtract) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  const auto d = Subtract(a, b);
+  EXPECT_DOUBLE_EQ(d[2], -3.0);
+  EXPECT_THROW(Dot(a, {1.0}), util::InvalidArgument);
+}
+
+TEST(VectorOps, NormalizeProbability) {
+  std::vector<double> v{1.0, 3.0};
+  NormalizeProbability(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(NormalizeProbability(zero), util::NumericalError);
+}
+
+}  // namespace
+}  // namespace wsn::linalg

@@ -1,0 +1,105 @@
+// P/T-invariant computation (Farkas) and invariant-based validation of
+// the standard nets and reachability sets.
+#include <gtest/gtest.h>
+
+#include "petri/invariants.hpp"
+#include "petri/reachability.hpp"
+#include "petri/standard_nets.hpp"
+
+namespace wsn::petri {
+namespace {
+
+TEST(PlaceInvariants, PingPongConservesToken) {
+  const PetriNet net = MakePingPongNet(1.0, 1.0);
+  const auto invs = PlaceInvariants(net);
+  ASSERT_EQ(invs.size(), 1u);
+  EXPECT_EQ(invs[0], (InvariantVector{1, 1}));
+  EXPECT_TRUE(IsCoveredByPlaceInvariants(net, invs));
+}
+
+TEST(PlaceInvariants, HoldOnEveryReachableMarking) {
+  const PetriNet net = MakeProducerConsumerNet(1.0, 2.0, 3);
+  const auto invs = PlaceInvariants(net);
+  ASSERT_FALSE(invs.empty());
+  const ReachabilityGraph g = ExploreReachability(net);
+  const Marking m0 = net.InitialMarking();
+  for (const auto& inv : invs) {
+    const long expected = InvariantTokenSum(inv, m0);
+    for (const Marking& m : g.markings) {
+      EXPECT_EQ(InvariantTokenSum(inv, m), expected);
+    }
+  }
+}
+
+TEST(PlaceInvariants, BufferSlotInvariant) {
+  // In producer/consumer, slots + items is constant (= buffer size).
+  const PetriNet net = MakeProducerConsumerNet(1.0, 1.0, 4);
+  const auto invs = PlaceInvariants(net);
+  const PlaceId slots = net.PlaceByName("slots");
+  const PlaceId items = net.PlaceByName("items");
+  bool found = false;
+  for (const auto& inv : invs) {
+    if (inv[slots] > 0 && inv[items] > 0) {
+      bool others_zero = true;
+      for (std::size_t p = 0; p < inv.size(); ++p) {
+        if (p != slots && p != items && inv[p] != 0) others_zero = false;
+      }
+      if (others_zero) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PlaceInvariants, OpenNetHasNoFullCover) {
+  // M/M/1/K's queue place is not conserved (arrivals create tokens).
+  const PetriNet net = MakeMm1kNet(1.0, 1.0, 3);
+  const auto invs = PlaceInvariants(net);
+  EXPECT_FALSE(IsCoveredByPlaceInvariants(net, invs));
+}
+
+TEST(TransitionInvariants, PingPongCycle) {
+  const PetriNet net = MakePingPongNet(1.0, 1.0);
+  const auto invs = TransitionInvariants(net);
+  ASSERT_EQ(invs.size(), 1u);
+  EXPECT_EQ(invs[0], (InvariantVector{1, 1}));  // fire both once: cycle
+}
+
+TEST(TransitionInvariants, Mm1kArriveServeBalance) {
+  const PetriNet net = MakeMm1kNet(1.0, 1.0, 3);
+  const auto invs = TransitionInvariants(net);
+  // arrive + serve returns to the same marking.
+  ASSERT_EQ(invs.size(), 1u);
+  EXPECT_EQ(invs[0], (InvariantVector{1, 1}));
+}
+
+TEST(Invariants, WeightedConservation) {
+  // t consumes 2 of a, produces 1 of b; reverse consumes 1 b produces 2 a.
+  // Invariant: 1*a + 2*b.
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 4);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId t1 = net.AddExponentialTransition("t1", 1.0);
+  net.AddInputArc(t1, a, 2);
+  net.AddOutputArc(t1, b, 1);
+  const TransitionId t2 = net.AddExponentialTransition("t2", 1.0);
+  net.AddInputArc(t2, b, 1);
+  net.AddOutputArc(t2, a, 2);
+
+  const auto invs = PlaceInvariants(net);
+  ASSERT_EQ(invs.size(), 1u);
+  EXPECT_EQ(invs[0], (InvariantVector{1, 2}));
+}
+
+TEST(Invariants, TokenSumHelper) {
+  const InvariantVector inv{1, 2, 0};
+  EXPECT_EQ(InvariantTokenSum(inv, Marking{3, 4, 7}), 11);
+}
+
+TEST(Invariants, ForkJoinCovered) {
+  const PetriNet net = MakeForkJoinNet(3, 1.0);
+  const auto invs = PlaceInvariants(net);
+  EXPECT_TRUE(IsCoveredByPlaceInvariants(net, invs));
+}
+
+}  // namespace
+}  // namespace wsn::petri

@@ -1,0 +1,188 @@
+// Reachability: state counts on known nets, tangible/vanishing
+// classification, dead markings, unboundedness guards and vanishing
+// resolution distributions.
+#include <gtest/gtest.h>
+
+#include "petri/reachability.hpp"
+#include "petri/standard_nets.hpp"
+#include "util/error.hpp"
+
+namespace wsn::petri {
+namespace {
+
+TEST(Reachability, PingPongHasTwoMarkings) {
+  const PetriNet net = MakePingPongNet(1.0, 1.0);
+  const ReachabilityGraph g = ExploreReachability(net);
+  EXPECT_EQ(g.Size(), 2u);
+  EXPECT_EQ(g.edges.size(), 2u);
+  EXPECT_TRUE(g.complete);
+  EXPECT_TRUE(g.tangible[0]);
+  EXPECT_TRUE(g.tangible[1]);
+  EXPECT_TRUE(g.DeadMarkings(net).empty());
+}
+
+TEST(Reachability, Mm1kHasCapacityPlusOneMarkings) {
+  const PetriNet net = MakeMm1kNet(1.0, 2.0, 7);
+  const ReachabilityGraph g = ExploreReachability(net);
+  EXPECT_EQ(g.Size(), 8u);  // 0..7 jobs
+  EXPECT_EQ(g.MaxTokens(), 7u);
+}
+
+TEST(Reachability, DetectsDeadMarking) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId t = net.AddExponentialTransition("t", 1.0);
+  net.AddInputArc(t, a);
+  net.AddOutputArc(t, b);
+  const ReachabilityGraph g = ExploreReachability(net);
+  EXPECT_EQ(g.Size(), 2u);
+  const auto dead = g.DeadMarkings(net);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(g.markings[dead[0]][b], 1u);
+}
+
+TEST(Reachability, UnboundedNetTriggersGuard) {
+  PetriNet net;
+  const PlaceId p = net.AddPlace("p", 0);
+  const PlaceId gen = net.AddPlace("gen", 1);
+  const TransitionId t = net.AddExponentialTransition("t", 1.0);
+  net.AddInputArc(t, gen);
+  net.AddOutputArc(t, gen);
+  net.AddOutputArc(t, p);  // p grows forever
+
+  ReachabilityOptions opts;
+  opts.max_tokens_per_place = 50;
+  EXPECT_THROW(ExploreReachability(net, opts), util::ModelError);
+}
+
+TEST(Reachability, MarkingCapTriggersGuard) {
+  const PetriNet net = MakeMm1kNet(1.0, 2.0, 100);
+  ReachabilityOptions opts;
+  opts.max_markings = 10;
+  EXPECT_THROW(ExploreReachability(net, opts), util::ModelError);
+}
+
+TEST(Reachability, VanishingClassification) {
+  const PetriNet net = MakeProducerConsumerNet(1.0, 1.0, 2);
+  const ReachabilityGraph g = ExploreReachability(net);
+  // A token in "produced" enables the immediate deposit — and makes the
+  // marking vanishing — iff a buffer slot is free; with the buffer full
+  // the producer blocks in a tangible marking.
+  const PlaceId produced = net.PlaceByName("produced");
+  const PlaceId slots = net.PlaceByName("slots");
+  bool saw_vanishing = false;
+  for (std::size_t i = 0; i < g.Size(); ++i) {
+    if (g.markings[i][produced] > 0) {
+      const bool expect_vanishing = g.markings[i][slots] > 0;
+      EXPECT_EQ(g.tangible[i], !expect_vanishing);
+      saw_vanishing = saw_vanishing || expect_vanishing;
+    }
+  }
+  EXPECT_TRUE(saw_vanishing);
+}
+
+TEST(VanishingResolution, TangibleMarkingIsIdentity) {
+  const PetriNet net = MakePingPongNet(1.0, 1.0);
+  const Marking m = net.InitialMarking();
+  const auto dist = ResolveVanishingDistribution(net, m);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.at(m), 1.0);
+}
+
+TEST(VanishingResolution, WeightedBranchProbabilities) {
+  // One token, two immediate transitions with weights 1 and 3 leading to
+  // distinct tangible markings.
+  PetriNet net;
+  const PlaceId p = net.AddPlace("p", 1);
+  const PlaceId a = net.AddPlace("a", 0);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId ta = net.AddImmediateTransition("ta", 1, 1.0);
+  const TransitionId tb = net.AddImmediateTransition("tb", 1, 3.0);
+  net.AddInputArc(ta, p);
+  net.AddOutputArc(ta, a);
+  net.AddInputArc(tb, p);
+  net.AddOutputArc(tb, b);
+  // A timed transition so tangible markings aren't dead-ends structurally.
+  const TransitionId back = net.AddExponentialTransition("back", 1.0);
+  net.AddInputArc(back, a);
+  net.AddOutputArc(back, p);
+
+  const auto dist = ResolveVanishingDistribution(net, net.InitialMarking());
+  ASSERT_EQ(dist.size(), 2u);
+  Marking ma{0, 1, 0}, mb{0, 0, 1};
+  EXPECT_NEAR(dist.at(ma), 0.25, 1e-12);
+  EXPECT_NEAR(dist.at(mb), 0.75, 1e-12);
+}
+
+TEST(VanishingResolution, MultiStepChain) {
+  // p -> q -> r through two immediates: resolves straight to r's marking.
+  PetriNet net;
+  const PlaceId p = net.AddPlace("p", 1);
+  const PlaceId q = net.AddPlace("q", 0);
+  const PlaceId r = net.AddPlace("r", 0);
+  const TransitionId t1 = net.AddImmediateTransition("t1", 1);
+  const TransitionId t2 = net.AddImmediateTransition("t2", 1);
+  net.AddInputArc(t1, p);
+  net.AddOutputArc(t1, q);
+  net.AddInputArc(t2, q);
+  net.AddOutputArc(t2, r);
+  const TransitionId timed = net.AddExponentialTransition("timed", 1.0);
+  net.AddInputArc(timed, r);
+  net.AddOutputArc(timed, p);
+
+  const auto dist = ResolveVanishingDistribution(net, net.InitialMarking());
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.at(Marking{0, 0, 1}), 1.0);
+}
+
+TEST(VanishingResolution, LoopThrows) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId ab = net.AddImmediateTransition("ab", 1);
+  const TransitionId ba = net.AddImmediateTransition("ba", 1);
+  net.AddInputArc(ab, a);
+  net.AddOutputArc(ab, b);
+  net.AddInputArc(ba, b);
+  net.AddOutputArc(ba, a);
+  EXPECT_THROW(ResolveVanishingDistribution(net, net.InitialMarking()),
+               util::ModelError);
+}
+
+TEST(TangibleGraph, PingPong) {
+  const PetriNet net = MakePingPongNet(2.0, 5.0);
+  const TangibleGraph g = BuildTangibleGraph(net);
+  EXPECT_EQ(g.markings.size(), 2u);
+  ASSERT_EQ(g.edges.size(), 2u);
+  double total_rate = 0.0;
+  for (const auto& e : g.edges) total_rate += e.rate;
+  EXPECT_NEAR(total_rate, 7.0, 1e-12);
+  EXPECT_NEAR(g.initial_distribution[0] + g.initial_distribution[1], 1.0,
+              1e-12);
+}
+
+TEST(TangibleGraph, FoldsVanishingChains) {
+  const PetriNet net = MakeProducerConsumerNet(1.0, 2.0, 3);
+  const TangibleGraph g = BuildTangibleGraph(net);
+  // The deposit immediate is folded into the produce edges: a token can
+  // only linger in "produced" when the buffer is full (deposit disabled).
+  for (const Marking& m : g.markings) {
+    if (m[net.PlaceByName("produced")] > 0) {
+      EXPECT_EQ(m[net.PlaceByName("slots")], 0u);
+    }
+  }
+  EXPECT_GT(g.edges.size(), 0u);
+}
+
+TEST(TangibleGraph, RejectsDeterministicNets) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const TransitionId t = net.AddDeterministicTransition("t", 1.0);
+  net.AddInputArc(t, a);
+  net.AddOutputArc(t, a);
+  EXPECT_THROW(BuildTangibleGraph(net), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsn::petri

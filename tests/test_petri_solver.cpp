@@ -1,0 +1,219 @@
+// Numerical SPN solver: exact agreement with M/M/1/K and ping-pong closed
+// forms, simulator cross-validation, stage expansion of deterministic
+// transitions and its convergence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/mm1.hpp"
+#include "petri/ctmc_solver.hpp"
+#include "petri/simulation.hpp"
+#include "petri/standard_nets.hpp"
+#include "util/error.hpp"
+
+namespace wsn::petri {
+namespace {
+
+TEST(SpnSolver, PingPongExact) {
+  const double lambda = 2.0, mu = 3.0;
+  const PetriNet net = MakePingPongNet(lambda, mu);
+  const SpnSteadyState ss = SolveSteadyState(net);
+  EXPECT_EQ(ss.tangible_states, 2u);
+  EXPECT_EQ(ss.expanded_states, 2u);
+  EXPECT_NEAR(ss.mean_tokens[net.PlaceByName("ping")], 0.6, 1e-12);
+  EXPECT_NEAR(ss.mean_tokens[net.PlaceByName("pong")], 0.4, 1e-12);
+  // Throughput: each transition fires at the cycle rate 1.2/s.
+  EXPECT_NEAR(ss.throughput[net.TransitionByName("go")], 1.2, 1e-12);
+  EXPECT_NEAR(ss.throughput[net.TransitionByName("back")], 1.2, 1e-12);
+}
+
+class Mm1kSolverCases
+    : public ::testing::TestWithParam<std::tuple<double, std::uint32_t>> {};
+
+TEST_P(Mm1kSolverCases, ExactAgainstClosedForm) {
+  const auto [rho, k] = GetParam();
+  const double mu = 1.0;
+  const double lambda = rho * mu;
+  const PetriNet net = MakeMm1kNet(lambda, mu, k);
+  const SpnSteadyState ss = SolveSteadyState(net);
+  const markov::Mm1k ref{lambda, mu, k};
+
+  EXPECT_EQ(ss.tangible_states, static_cast<std::size_t>(k) + 1);
+  EXPECT_NEAR(ss.mean_tokens[net.PlaceByName("queue")], ref.MeanJobs(),
+              1e-10);
+  EXPECT_NEAR(ss.prob_nonempty[net.PlaceByName("queue")],
+              ref.Utilization(), 1e-10);
+  EXPECT_NEAR(ss.throughput[net.TransitionByName("serve")],
+              ref.Throughput(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadAndCapacity, Mm1kSolverCases,
+    ::testing::Combine(::testing::Values(0.3, 0.8, 1.0, 1.5),
+                       ::testing::Values<std::uint32_t>(1, 4, 12)));
+
+TEST(SpnSolver, GspnWithImmediateMatchesSimulation) {
+  const PetriNet net = MakeProducerConsumerNet(1.0, 1.5, 3);
+  const SpnSteadyState exact = SolveSteadyState(net);
+
+  SimulationConfig cfg;
+  cfg.horizon = 50000.0;
+  cfg.warmup = 500.0;
+  cfg.seed = 9;
+  const SimulationResult sim = SimulateSpn(net, cfg);
+  for (std::size_t p = 0; p < net.PlaceCount(); ++p) {
+    EXPECT_NEAR(exact.mean_tokens[p], sim.mean_tokens[p], 0.03)
+        << net.GetPlace(p).name;
+  }
+  EXPECT_NEAR(exact.throughput[net.TransitionByName("produce")],
+              sim.throughput[net.TransitionByName("produce")], 0.03);
+}
+
+TEST(SpnSolver, SharedResourceConservation) {
+  const PetriNet net = MakeSharedResourceNet(2, 1.0, 1.0);
+  const SpnSteadyState ss = SolveSteadyState(net);
+  // With symmetric rates the two users split the resource evenly in the
+  // long run (the acquire weights only decide ties, which recur with
+  // probability zero after the initial marking).
+  const double u0 = ss.mean_tokens[net.PlaceByName("using_0")];
+  const double u1 = ss.mean_tokens[net.PlaceByName("using_1")];
+  EXPECT_NEAR(u0, u1, 1e-10);
+  // Resource conservation: exactly one token across resource/using_*.
+  EXPECT_NEAR(ss.mean_tokens[net.PlaceByName("resource")] + u0 + u1, 1.0,
+              1e-10);
+}
+
+TEST(SpnSolver, ImmediateWeightsSteerRecurringConflicts) {
+  // A token repeatedly reaches a weighted fork: ta (weight 1) vs tb
+  // (weight 3).  Steady-state throughputs must split 1:3.
+  PetriNet net;
+  const PlaceId p = net.AddPlace("p", 1);
+  const PlaceId a = net.AddPlace("a", 0);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId ta = net.AddImmediateTransition("ta", 1, 1.0);
+  const TransitionId tb = net.AddImmediateTransition("tb", 1, 3.0);
+  net.AddInputArc(ta, p);
+  net.AddOutputArc(ta, a);
+  net.AddInputArc(tb, p);
+  net.AddOutputArc(tb, b);
+  const TransitionId drain_a = net.AddExponentialTransition("drain_a", 2.0);
+  net.AddInputArc(drain_a, a);
+  net.AddOutputArc(drain_a, p);
+  const TransitionId drain_b = net.AddExponentialTransition("drain_b", 2.0);
+  net.AddInputArc(drain_b, b);
+  net.AddOutputArc(drain_b, p);
+
+  const SpnSteadyState ss = SolveSteadyState(net);
+  // Both tangible states have the same exponential holding rate, so the
+  // token shares equal the branch probabilities.
+  EXPECT_NEAR(ss.mean_tokens[a], 0.25, 1e-10);
+  EXPECT_NEAR(ss.mean_tokens[b], 0.75, 1e-10);
+  EXPECT_NEAR(ss.throughput[drain_b] / ss.throughput[drain_a], 3.0, 1e-9);
+
+  // And the token-game simulator agrees.
+  SimulationConfig cfg;
+  cfg.horizon = 50000.0;
+  cfg.seed = 31;
+  const SimulationResult sim = SimulateSpn(net, cfg);
+  EXPECT_NEAR(sim.mean_tokens[a], 0.25, 0.02);
+  EXPECT_NEAR(sim.mean_tokens[b], 0.75, 0.02);
+}
+
+TEST(SpnSolver, DeterministicCycleViaStageExpansion) {
+  // a --det(1)--> b --det(3)--> a: true shares 0.25 / 0.75.  The Erlang
+  // expansion approaches them as k grows.
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId ab = net.AddDeterministicTransition("ab", 1.0);
+  const TransitionId ba = net.AddDeterministicTransition("ba", 3.0);
+  net.AddInputArc(ab, a);
+  net.AddOutputArc(ab, b);
+  net.AddInputArc(ba, b);
+  net.AddOutputArc(ba, a);
+
+  // Means are exact for phase-type delays regardless of k: time in a is
+  // mean(ab)/(mean(ab)+mean(ba)) for an alternating renewal process.
+  for (std::size_t k : {1u, 4u, 16u}) {
+    SolverOptions opts;
+    opts.det_stages = k;
+    const SpnSteadyState ss = SolveSteadyState(net, opts);
+    EXPECT_NEAR(ss.mean_tokens[a], 0.25, 1e-10) << "k=" << k;
+    EXPECT_NEAR(ss.mean_tokens[b], 0.75, 1e-10) << "k=" << k;
+    EXPECT_NEAR(ss.throughput[ab], 0.25, 1e-10);
+    EXPECT_EQ(ss.expanded_states, 2 * k);
+  }
+}
+
+TEST(SpnSolver, ErlangTransitionsHandledNatively) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const PlaceId b = net.AddPlace("b", 0);
+  const TransitionId ab = net.AddTimedTransition(
+      "ab", util::Distribution(util::Erlang{3, 3.0}));  // mean 1
+  const TransitionId ba = net.AddExponentialTransition("ba", 1.0 / 3.0);
+  net.AddInputArc(ab, a);
+  net.AddOutputArc(ab, b);
+  net.AddInputArc(ba, b);
+  net.AddOutputArc(ba, a);
+
+  const SpnSteadyState ss = SolveSteadyState(net);
+  EXPECT_NEAR(ss.mean_tokens[a], 0.25, 1e-10);
+  EXPECT_NEAR(ss.mean_tokens[b], 0.75, 1e-10);
+}
+
+TEST(SpnSolver, StageExpansionMatchesSimulatorOnPreemptiveNet) {
+  // Deterministic transition that *can be preempted* (enabling memory):
+  // the sleep/interrupter net.  Solver with large k vs long simulation.
+  PetriNet net;
+  const PlaceId armed = net.AddPlace("armed", 1);
+  const PlaceId off = net.AddPlace("off", 0);
+  const TransitionId sleep = net.AddDeterministicTransition("sleep", 1.0);
+  net.AddInputArc(sleep, armed);
+  net.AddOutputArc(sleep, off);
+  const TransitionId wake = net.AddExponentialTransition("wake", 0.5);
+  net.AddInputArc(wake, off);
+  net.AddOutputArc(wake, armed);
+  const PlaceId tmp = net.AddPlace("tmp", 0);
+  const TransitionId grab = net.AddExponentialTransition("grab", 1.0);
+  net.AddInputArc(grab, armed);
+  net.AddOutputArc(grab, tmp);
+  const TransitionId put = net.AddExponentialTransition("put", 4.0);
+  net.AddInputArc(put, tmp);
+  net.AddOutputArc(put, armed);
+
+  SolverOptions opts;
+  opts.det_stages = 40;
+  const SpnSteadyState exact = SolveSteadyState(net, opts);
+
+  SimulationConfig cfg;
+  cfg.horizon = 200000.0;
+  cfg.seed = 21;
+  const SimulationResult sim = SimulateSpn(net, cfg);
+  for (PlaceId p : {armed, off, tmp}) {
+    EXPECT_NEAR(exact.mean_tokens[p], sim.mean_tokens[p], 0.01)
+        << net.GetPlace(p).name;
+  }
+}
+
+TEST(SpnSolver, RejectsUnsupportedDistributions) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const TransitionId t = net.AddTimedTransition(
+      "t", util::Distribution(util::Uniform{0.0, 1.0}));
+  net.AddInputArc(t, a);
+  net.AddOutputArc(t, a);
+  EXPECT_THROW(SolveSteadyState(net), util::ModelError);
+}
+
+TEST(SpnSolver, RejectsZeroDeterministicDelay) {
+  PetriNet net;
+  const PlaceId a = net.AddPlace("a", 1);
+  const TransitionId t = net.AddDeterministicTransition("t", 0.0);
+  net.AddInputArc(t, a);
+  net.AddOutputArc(t, a);
+  EXPECT_THROW(SolveSteadyState(net), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsn::petri

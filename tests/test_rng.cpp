@@ -1,0 +1,135 @@
+// RNG correctness: determinism, stream independence, uniformity,
+// and statistical properties of the raw generators.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace wsn::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, KnownReferenceValues) {
+  // Reference outputs of the standard SplitMix64 algorithm with seed 0.
+  SplitMix64 g(0);
+  EXPECT_EQ(g(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(g(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(g(), 0x06c45d188009454fULL);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, JumpChangesSequence) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  b.Jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, MakeStreamZeroIsIdentity) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b = a.MakeStream(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, StreamsAreDistinct) {
+  Xoshiro256StarStar base(7);
+  Xoshiro256StarStar s1 = base.MakeStream(1);
+  Xoshiro256StarStar s2 = base.MakeStream(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(s1());
+    seen.insert(s2());
+  }
+  EXPECT_EQ(seen.size(), 400u);  // collisions are astronomically unlikely
+}
+
+TEST(UniformDouble, InHalfOpenUnitInterval) {
+  Xoshiro256StarStar g(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = UniformDouble(g);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformDoubleOpenLow, NeverZero) {
+  Xoshiro256StarStar g(3);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(UniformDoubleOpenLow(g), 0.0);
+    ASSERT_LE(UniformDoubleOpenLow(g), 1.0);
+  }
+}
+
+TEST(UniformDouble, MeanAndVarianceMatchUniform) {
+  Xoshiro256StarStar g(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(UniformDouble(g));
+  EXPECT_NEAR(stats.Mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.Variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(UniformBelow, RespectsBound) {
+  Xoshiro256StarStar g(5);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_LT(UniformBelow(g, 17), 17u);
+  }
+}
+
+TEST(UniformBelow, RoughlyUniformOverSmallRange) {
+  Xoshiro256StarStar g(5);
+  std::array<int, 8> counts{};
+  const int n = 160000;
+  for (int i = 0; i < n; ++i) ++counts[UniformBelow(g, 8)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 8.0, 5.0 * std::sqrt(n / 8.0));
+  }
+}
+
+// Bit balance: each of the 64 output bits should be ~50% ones.
+TEST(Xoshiro, OutputBitsBalanced) {
+  Xoshiro256StarStar g(9);
+  std::array<int, 64> ones{};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = g();
+    for (int b = 0; b < 64; ++b) {
+      if (v & (std::uint64_t{1} << b)) ++ones[b];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(static_cast<double>(ones[b]), n / 2.0,
+                6.0 * std::sqrt(n / 4.0))
+        << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace wsn::util

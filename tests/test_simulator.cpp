@@ -1,0 +1,144 @@
+// DES kernel: clock semantics, scheduling order, cancellation, horizons
+// and event chains.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "util/error.hpp"
+
+namespace wsn::des {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.ProcessedEvents(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(3.0, [&] { order.push_back(3); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(2); });
+  sim.ScheduleAt(1.0, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.ScheduleAt(5.0, [&] {
+    sim.ScheduleAfter(2.5, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(sim.Cancel(id));  // already gone
+}
+
+TEST(Simulator, CancelFromWithinEvent) {
+  Simulator sim;
+  bool second_fired = false;
+  const EventId victim =
+      sim.ScheduleAt(2.0, [&] { second_fired = true; });
+  sim.ScheduleAt(1.0, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.RunToCompletion();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndClampsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1.0, [&] { ++fired; });
+  sim.ScheduleAt(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 20.0);
+}
+
+TEST(Simulator, EventAtHorizonBoundaryFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(5.0, [&] { fired = true; });
+  sim.RunUntil(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, ZeroDelayChainProcessesInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(1.0, [&] {
+    order.push_back(1);
+    sim.ScheduleAfter(0.0, [&] {
+      order.push_back(2);
+      sim.ScheduleAfter(0.0, [&] { order.push_back(3); });
+    });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.ScheduleAt(2.0, [] {});
+  sim.RunUntil(2.0);
+  EXPECT_THROW(sim.ScheduleAt(1.0, [] {}), util::InvalidArgument);
+  EXPECT_THROW(sim.ScheduleAfter(-0.5, [] {}), util::InvalidArgument);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 25; ++i) {
+    sim.ScheduleAt(static_cast<double>(i), [] {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.ProcessedEvents(), 25u);
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulator, WorksWithAllQueueKinds) {
+  for (QueueKind kind : {QueueKind::kBinaryHeap, QueueKind::kSortedList,
+                         QueueKind::kCalendar}) {
+    Simulator sim(kind);
+    std::vector<int> order;
+    sim.ScheduleAt(2.0, [&] { order.push_back(2); });
+    sim.ScheduleAt(1.0, [&] { order.push_back(1); });
+    sim.RunToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace wsn::des

@@ -1,0 +1,95 @@
+// Method-of-stages CTMC baseline: normalization, k=1 equals the naive
+// exponential-delay chain, convergence as k grows, and degenerate delays.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/stages.hpp"
+#include "util/error.hpp"
+
+namespace wsn::markov {
+namespace {
+
+TEST(Stages, SharesSumToOne) {
+  const StagesCpuModel m(1.0, 10.0, 0.1, 0.3, 5, 5);
+  const StagesResult r = m.Evaluate();
+  EXPECT_NEAR(r.p_standby + r.p_powerup + r.p_idle + r.p_active, 1.0, 1e-9);
+  EXPECT_GT(r.states, 0u);
+}
+
+TEST(Stages, ActiveShareNearRho) {
+  const StagesCpuModel m(1.0, 10.0, 0.2, 0.05, 10, 10);
+  const StagesResult r = m.Evaluate();
+  // Work conservation: active fraction is within a small band above rho
+  // (power-up stalls add backlog bursts but work done per job is fixed).
+  EXPECT_NEAR(r.p_active, 0.1, 0.02);
+}
+
+TEST(Stages, ZeroThresholdSkipsIdle) {
+  const StagesCpuModel m(1.0, 10.0, 0.0, 0.1, 4, 4);
+  const StagesResult r = m.Evaluate();
+  EXPECT_DOUBLE_EQ(r.p_idle, 0.0);
+  EXPECT_GT(r.p_standby, 0.0);
+}
+
+TEST(Stages, ZeroDelaySkipsPowerup) {
+  const StagesCpuModel m(1.0, 10.0, 0.1, 0.0, 4, 4);
+  const StagesResult r = m.Evaluate();
+  EXPECT_DOUBLE_EQ(r.p_powerup, 0.0);
+}
+
+TEST(Stages, MoreStagesMoveSharesMonotonically) {
+  // As k grows the Erlang approximation sharpens toward the deterministic
+  // delays; successive solutions must converge (Cauchy-style check).
+  const double lambda = 1.0, mu = 10.0, T = 0.3, D = 0.3;
+  double prev_idle = -1.0;
+  double prev_delta = 1.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    const StagesCpuModel m(lambda, mu, T, D, k, k);
+    const double idle = m.Evaluate().p_idle;
+    if (prev_idle >= 0.0) {
+      const double delta = std::abs(idle - prev_idle);
+      EXPECT_LT(delta, prev_delta + 1e-9) << "k=" << k;
+      prev_delta = delta;
+    }
+    prev_idle = idle;
+  }
+}
+
+TEST(Stages, LargeKStabilizes) {
+  const StagesCpuModel a(1.0, 10.0, 0.2, 0.1, 24, 24);
+  const StagesCpuModel b(1.0, 10.0, 0.2, 0.1, 32, 32);
+  const auto ra = a.Evaluate();
+  const auto rb = b.Evaluate();
+  EXPECT_NEAR(ra.p_idle, rb.p_idle, 0.01);
+  EXPECT_NEAR(ra.p_standby, rb.p_standby, 0.01);
+}
+
+TEST(Stages, StateCountGrowsWithK) {
+  const StagesCpuModel small(1.0, 10.0, 0.1, 0.1, 1, 1, 50);
+  const StagesCpuModel large(1.0, 10.0, 0.1, 0.1, 8, 8, 50);
+  EXPECT_GT(large.Evaluate().states, small.Evaluate().states);
+}
+
+TEST(Stages, AutoTruncationScalesWithPowerUpLoad) {
+  const StagesCpuModel short_d(1.0, 10.0, 0.1, 0.1, 2, 2);
+  const StagesCpuModel long_d(1.0, 10.0, 0.1, 50.0, 2, 2);
+  EXPECT_GT(long_d.MaxJobs(), short_d.MaxJobs());
+}
+
+TEST(Stages, MeanJobsPositiveUnderLoad) {
+  const StagesCpuModel m(1.0, 2.0, 0.5, 1.0, 4, 4);
+  EXPECT_GT(m.Evaluate().mean_jobs, 0.4);  // at least ~rho
+}
+
+TEST(Stages, DomainChecks) {
+  EXPECT_THROW(StagesCpuModel(1.0, 1.0, 0.1, 0.1, 2, 2),
+               util::InvalidArgument);  // unstable
+  EXPECT_THROW(StagesCpuModel(1.0, 2.0, 0.1, 0.1, 0, 2),
+               util::InvalidArgument);  // zero stages
+  EXPECT_THROW(StagesCpuModel(-1.0, 2.0, 0.1, 0.1, 2, 2),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsn::markov

@@ -1,0 +1,159 @@
+// The paper's supplementary-variable Markov model (Eqs. 11-24):
+// normalization, limiting behaviour, monotonicity across parameter sweeps
+// and agreement with M/M/1 where the power logic vanishes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/mm1.hpp"
+#include "markov/supplementary.hpp"
+#include "util/error.hpp"
+
+namespace wsn::markov {
+namespace {
+
+struct ParamCase {
+  double lambda, mu, T, D;
+};
+
+class SupplementaryProperties : public ::testing::TestWithParam<ParamCase> {};
+
+TEST_P(SupplementaryProperties, ProbabilitiesSumToOne) {
+  const auto& c = GetParam();
+  const SupplementaryVariableModel m(c.lambda, c.mu, c.T, c.D);
+  const SupplementaryResult r = m.Evaluate();
+  EXPECT_NEAR(r.probability_sum, 1.0, 1e-12);
+  EXPECT_GE(r.p_standby, 0.0);
+  EXPECT_GE(r.p_powerup, 0.0);
+  EXPECT_GE(r.p_idle, 0.0);
+  EXPECT_GE(r.p_active, 0.0);
+}
+
+TEST_P(SupplementaryProperties, ActiveShareAtLeastRho) {
+  // The server must work at least a fraction rho of the time to keep up;
+  // power-up stalls can only increase the backlog-serving share.
+  const auto& c = GetParam();
+  const SupplementaryVariableModel m(c.lambda, c.mu, c.T, c.D);
+  EXPECT_GE(m.Evaluate().p_active, c.lambda / c.mu - 1e-9);
+}
+
+TEST_P(SupplementaryProperties, LatencyRespectsLittlesLaw) {
+  const auto& c = GetParam();
+  const SupplementaryVariableModel m(c.lambda, c.mu, c.T, c.D);
+  const auto r = m.Evaluate();
+  EXPECT_NEAR(r.mean_latency, r.mean_jobs / c.lambda, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SupplementaryProperties,
+    ::testing::Values(ParamCase{1.0, 10.0, 0.1, 0.001},
+                      ParamCase{1.0, 10.0, 0.5, 0.3},
+                      ParamCase{1.0, 10.0, 1.0, 10.0},
+                      ParamCase{0.5, 2.0, 0.2, 0.05},
+                      ParamCase{2.0, 3.0, 0.01, 0.2},
+                      ParamCase{1.0, 10.0, 0.0, 0.0},
+                      ParamCase{0.1, 1.0, 2.0, 1.0}));
+
+TEST(Supplementary, PaperEquation17DenominatorStructure) {
+  // Hand-check Eq. 17 at lambda=1, mu=10, T=.5, D=.2.
+  const double lambda = 1.0, mu = 10.0, T = 0.5, D = 0.2;
+  const SupplementaryVariableModel m(lambda, mu, T, D);
+  const auto r = m.Evaluate();
+  const double rho = lambda / mu;
+  const double denom = std::exp(lambda * T) +
+                       (1.0 - rho) * (1.0 - std::exp(-lambda * D)) +
+                       rho * lambda * D;
+  EXPECT_NEAR(r.p_standby, (1.0 - rho) / denom, 1e-14);
+  EXPECT_NEAR(r.p_powerup,
+              (1.0 - rho) * (1.0 - std::exp(-lambda * D)) / denom, 1e-14);
+  EXPECT_NEAR(r.p_idle, (std::exp(lambda * T) - 1.0) * r.p_standby, 1e-14);
+  EXPECT_NEAR(r.p_active,
+              rho * (std::exp(lambda * T) + lambda * D) / denom, 1e-14);
+}
+
+TEST(Supplementary, ZeroDelaysReduceTowardMm1WithSleep) {
+  // T = D = 0: the CPU sleeps the instant it idles and wakes for free, so
+  // idle and powerup shares vanish; active = rho, standby = 1 - rho.
+  const SupplementaryVariableModel m(1.0, 10.0, 0.0, 0.0);
+  const auto r = m.Evaluate();
+  EXPECT_NEAR(r.p_idle, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_powerup, 0.0, 1e-12);
+  EXPECT_NEAR(r.p_active, 0.1, 1e-12);
+  EXPECT_NEAR(r.p_standby, 0.9, 1e-12);
+  // And the queue reduces exactly to M/M/1.
+  const Mm1 mm1{1.0, 10.0};
+  EXPECT_NEAR(r.mean_jobs, mm1.MeanJobs(), 1e-12);
+}
+
+TEST(Supplementary, LargeThresholdNeverSleeps) {
+  // T -> inf: p_standby, p_powerup -> 0; idle -> 1 - rho; active -> rho.
+  const SupplementaryVariableModel m(1.0, 10.0, 30.0, 0.5);
+  const auto r = m.Evaluate();
+  EXPECT_NEAR(r.p_standby, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_powerup, 0.0, 1e-9);
+  EXPECT_NEAR(r.p_idle, 0.9, 1e-8);
+  EXPECT_NEAR(r.p_active, 0.1, 1e-8);
+}
+
+TEST(Supplementary, IdleShareIncreasesWithThreshold) {
+  double prev = -1.0;
+  for (double T : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const SupplementaryVariableModel m(1.0, 10.0, T, 0.001);
+    const double idle = m.Evaluate().p_idle;
+    EXPECT_GT(idle, prev) << "T=" << T;
+    prev = idle;
+  }
+}
+
+TEST(Supplementary, StandbyShareDecreasesWithThreshold) {
+  double prev = 2.0;
+  for (double T : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const SupplementaryVariableModel m(1.0, 10.0, T, 0.001);
+    const double standby = m.Evaluate().p_standby;
+    EXPECT_LT(standby, prev) << "T=" << T;
+    prev = standby;
+  }
+}
+
+TEST(Supplementary, MeanJobsGrowsWithPowerUpDelay) {
+  double prev = -1.0;
+  for (double D : {0.0, 0.1, 1.0, 5.0, 10.0}) {
+    const SupplementaryVariableModel m(1.0, 10.0, 0.1, D);
+    const double jobs = m.Evaluate().mean_jobs;
+    EXPECT_GT(jobs, prev) << "D=" << D;
+    prev = jobs;
+  }
+}
+
+TEST(Supplementary, TotalTimeAndEnergyEquations) {
+  const SupplementaryVariableModel m(1.0, 10.0, 0.1, 0.001);
+  const auto r = m.Evaluate();
+  const std::size_t n_jobs = 1000;
+  // Eq. 23.
+  const double expected_time =
+      (static_cast<double>(n_jobs) + r.mean_jobs * r.mean_jobs) / 1.0;
+  EXPECT_NEAR(m.TotalRunningTime(n_jobs), expected_time, 1e-9);
+  // Eq. 24 with the paper's PXA271 draws.
+  const double weighted = r.p_idle * 88.0 + r.p_standby * 17.0 +
+                          r.p_powerup * 192.442 + r.p_active * 193.0;
+  EXPECT_NEAR(m.TotalEnergyForJobs(n_jobs, 88.0, 17.0, 192.442, 193.0),
+              weighted * expected_time, 1e-6);
+}
+
+TEST(Supplementary, DomainChecks) {
+  EXPECT_THROW(SupplementaryVariableModel(0.0, 1.0, 0.1, 0.1),
+               util::InvalidArgument);
+  EXPECT_THROW(SupplementaryVariableModel(1.0, 0.0, 0.1, 0.1),
+               util::InvalidArgument);
+  EXPECT_THROW(SupplementaryVariableModel(1.0, 1.0, 0.1, 0.1),
+               util::InvalidArgument);  // rho = 1
+  EXPECT_THROW(SupplementaryVariableModel(2.0, 1.0, 0.1, 0.1),
+               util::InvalidArgument);  // rho > 1
+  EXPECT_THROW(SupplementaryVariableModel(1.0, 2.0, -0.1, 0.1),
+               util::InvalidArgument);
+  EXPECT_THROW(SupplementaryVariableModel(1.0, 2.0, 0.1, -0.1),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsn::markov

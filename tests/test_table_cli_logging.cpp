@@ -1,0 +1,100 @@
+// TextTable rendering, CSV escaping, CLI flag parsing and log levels.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace wsn::util {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_EQ(t.Rows(), 1u);
+}
+
+TEST(TextTable, RejectsAridityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), InvalidArgument);
+}
+
+TEST(TextTable, NumericRowFormatting) {
+  TextTable t({"x", "y"});
+  t.AddNumericRow(std::vector<double>{1.23456, 2.0}, 2);
+  EXPECT_NE(t.Render().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.Render().find("1.2345"), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotesCommas) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a,b", "1"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesQuotes) {
+  TextTable t({"name"});
+  t.AddRow({"say \"hi\","});
+  EXPECT_NE(t.RenderCsv().find("\"say \"\"hi\"\",\""), std::string::npos);
+}
+
+TEST(FormatHelpers, FixedAndInterval) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatInterval(1.0, 0.25, 2), "1.00 +- 0.25");
+}
+
+TEST(CliArgs, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--rate", "2.5", "--name=abc", "--flag"};
+  CliArgs args(5, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0.0), 2.5);
+  EXPECT_EQ(args.GetString("name", ""), "abc");
+  EXPECT_TRUE(args.GetBool("flag"));
+  EXPECT_FALSE(args.GetBool("absent"));
+}
+
+TEST(CliArgs, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_DOUBLE_EQ(args.GetDouble("x", 7.5), 7.5);
+  EXPECT_EQ(args.GetInt("n", 42), 42);
+  EXPECT_EQ(args.GetString("s", "dflt"), "dflt");
+}
+
+TEST(CliArgs, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--v", "1", "out.txt"};
+  CliArgs args(5, argv);
+  ASSERT_EQ(args.Positional().size(), 2u);
+  EXPECT_EQ(args.Positional()[0], "input.txt");
+  EXPECT_EQ(args.Positional()[1], "out.txt");
+}
+
+TEST(CliArgs, IntegerParsing) {
+  const char* argv[] = {"prog", "--n", "123"};
+  CliArgs args(3, argv);
+  EXPECT_EQ(args.GetInt("n", 0), 123);
+}
+
+TEST(CliArgs, RejectsNonNumeric) {
+  const char* argv[] = {"prog", "--n", "abc"};
+  CliArgs args(3, argv);
+  EXPECT_THROW(args.GetInt("n", 0), InvalidArgument);
+  EXPECT_THROW(args.GetDouble("n", 0.0), InvalidArgument);
+}
+
+TEST(Logging, LevelThresholding) {
+  const LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  LogInfo() << "suppressed";   // must not crash
+  LogError() << "emitted";
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace wsn::util

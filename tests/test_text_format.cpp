@@ -1,0 +1,145 @@
+// .spn text format: serialization round-trips, parse errors with line
+// numbers, and solving a net straight from text.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cpu_petri_net.hpp"
+#include "markov/mm1.hpp"
+#include "petri/ctmc_solver.hpp"
+#include "petri/standard_nets.hpp"
+#include "petri/text_format.hpp"
+#include "util/error.hpp"
+
+namespace wsn::petri {
+namespace {
+
+void ExpectNetsEquivalent(const PetriNet& a, const PetriNet& b) {
+  ASSERT_EQ(a.PlaceCount(), b.PlaceCount());
+  ASSERT_EQ(a.TransitionCount(), b.TransitionCount());
+  EXPECT_EQ(a.InitialMarking(), b.InitialMarking());
+  for (std::size_t p = 0; p < a.PlaceCount(); ++p) {
+    EXPECT_EQ(a.GetPlace(p).name, b.GetPlace(p).name);
+  }
+  for (std::size_t t = 0; t < a.TransitionCount(); ++t) {
+    const Transition& ta = a.GetTransition(t);
+    const Transition& tb = b.GetTransition(t);
+    EXPECT_EQ(ta.name, tb.name);
+    EXPECT_EQ(ta.kind, tb.kind);
+    EXPECT_EQ(ta.priority, tb.priority);
+    EXPECT_DOUBLE_EQ(ta.weight, tb.weight);
+    ASSERT_EQ(ta.arcs.size(), tb.arcs.size());
+    for (std::size_t k = 0; k < ta.arcs.size(); ++k) {
+      EXPECT_EQ(ta.arcs[k].kind, tb.arcs[k].kind);
+      EXPECT_EQ(ta.arcs[k].place, tb.arcs[k].place);
+      EXPECT_EQ(ta.arcs[k].multiplicity, tb.arcs[k].multiplicity);
+    }
+    if (ta.kind == TransitionKind::kTimed) {
+      EXPECT_EQ(ta.delay->Describe(), tb.delay->Describe());
+    }
+  }
+}
+
+TEST(TextFormat, RoundTripMm1k) {
+  const PetriNet net = MakeMm1kNet(0.8, 1.0, 5);
+  ExpectNetsEquivalent(net, ParseNet(SerializeNet(net)));
+}
+
+TEST(TextFormat, RoundTripProducerConsumer) {
+  const PetriNet net = MakeProducerConsumerNet(1.0, 2.0, 3);
+  ExpectNetsEquivalent(net, ParseNet(SerializeNet(net)));
+}
+
+TEST(TextFormat, RoundTripCpuNet) {
+  core::CpuParams params;
+  const PetriNet net = core::BuildCpuPetriNet(params);
+  ExpectNetsEquivalent(net, ParseNet(SerializeNet(net)));
+}
+
+TEST(TextFormat, DoubleRoundTripIsIdempotent) {
+  const PetriNet net = MakeSharedResourceNet(2, 1.0, 2.0);
+  const std::string once = SerializeNet(net);
+  const std::string twice = SerializeNet(ParseNet(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(TextFormat, ParsedNetSolvesCorrectly) {
+  const std::string text = R"(
+# M/M/1/4 written by hand
+place queue
+transition arrive exp 0.5
+transition serve exp 1.0
+arc out arrive queue
+arc inhibit arrive queue 4
+arc in serve queue
+)";
+  const PetriNet net = ParseNet(text);
+  const SpnSteadyState ss = SolveSteadyState(net);
+  const markov::Mm1k ref{0.5, 1.0, 4};
+  EXPECT_NEAR(ss.mean_tokens[net.PlaceByName("queue")], ref.MeanJobs(),
+              1e-10);
+}
+
+TEST(TextFormat, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# header\n\nplace p 1   # trailing comment\n"
+      "transition t exp 2.0\narc in t p\narc out t p\n";
+  const PetriNet net = ParseNet(text);
+  EXPECT_EQ(net.PlaceCount(), 1u);
+  EXPECT_EQ(net.InitialMarking()[0], 1u);
+}
+
+TEST(TextFormat, ImmediateAttributesParsed) {
+  const std::string text =
+      "place p 1\nplace q\n"
+      "transition t immediate priority=7 weight=2.5\n"
+      "arc in t p\narc out t q\n"
+      "transition back exp 1.0\narc in back q\narc out back p\n";
+  const PetriNet net = ParseNet(text);
+  const Transition& t = net.GetTransition(net.TransitionByName("t"));
+  EXPECT_EQ(t.priority, 7);
+  EXPECT_DOUBLE_EQ(t.weight, 2.5);
+}
+
+TEST(TextFormat, ErlangAndUniformKinds) {
+  const std::string text =
+      "place p 1\n"
+      "transition e erlang 3 2.0\narc in e p\narc out e p\n"
+      "transition u uniform 0.5 1.5\narc in u p\narc out u p\n";
+  const PetriNet net = ParseNet(text);
+  EXPECT_EQ(net.GetTransition(0).delay->Describe(), "Erlang(k=3,rate=2)");
+  EXPECT_EQ(net.GetTransition(1).delay->Describe(), "Uniform[0.5,1.5]");
+}
+
+TEST(TextFormat, ErrorsCarryLineNumbers) {
+  try {
+    ParseNet("place p 1\nbogus directive\n");
+    FAIL() << "expected parse error";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TextFormat, RejectsMalformedInput) {
+  EXPECT_THROW(ParseNet("place\n"), util::InvalidArgument);
+  EXPECT_THROW(ParseNet("place p x\n"), util::InvalidArgument);
+  EXPECT_THROW(ParseNet("transition t exp\n"), util::InvalidArgument);
+  EXPECT_THROW(ParseNet("transition t warp 1.0\n"), util::InvalidArgument);
+  EXPECT_THROW(ParseNet("place p 1\ntransition t exp 1.0\n"
+                        "arc sideways t p\n"),
+               util::InvalidArgument);
+  EXPECT_THROW(ParseNet("place p 1\ntransition t exp 1.0\narc in t ghost\n"),
+               util::InvalidArgument);
+  // Validation still applies to the assembled net.
+  EXPECT_THROW(ParseNet("place p 1\n"), util::ModelError);
+}
+
+TEST(TextFormat, StreamWrappers) {
+  const PetriNet net = MakePingPongNet(1.0, 2.0);
+  std::stringstream ss;
+  WriteNet(ss, net);
+  ExpectNetsEquivalent(net, ReadNet(ss));
+}
+
+}  // namespace
+}  // namespace wsn::petri

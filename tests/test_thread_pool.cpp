@@ -1,0 +1,93 @@
+// Thread pool: completion, result propagation, exception forwarding and
+// parallel-for semantics under contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace wsn::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ThreadCountAsRequested) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.ThreadCount(), 3u);
+}
+
+TEST(ThreadPool, DefaultUsesAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.ThreadCount(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  ParallelFor(1000, [&](std::size_t i) { ++visits[i]; }, 8);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, WorksWithSingleItem) {
+  int called = 0;
+  ParallelFor(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++called;
+  });
+  EXPECT_EQ(called, 1);
+}
+
+TEST(ParallelFor, ZeroItemsIsNoop) {
+  ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SumsMatchSequential) {
+  std::vector<double> out(500);
+  ParallelFor(500, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 2.0;
+  }, 4);
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 499.0 * 500.0);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(100, [](std::size_t i) {
+        if (i == 37) throw std::logic_error("fail at 37");
+      }, 4),
+      std::logic_error);
+}
+
+TEST(ParallelFor, ReusablePool) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 50, [&](std::size_t) { ++counter; });
+  ParallelFor(pool, 50, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace wsn::util

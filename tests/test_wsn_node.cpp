@@ -1,0 +1,137 @@
+// WSN node/network layer: power breakdowns, lifetime arithmetic, duty-
+// cycle effects, greedy routing and relay hot-spots.
+#include <gtest/gtest.h>
+
+#include "core/models.hpp"
+#include "wsn/network.hpp"
+#include "wsn/node.hpp"
+
+namespace wsn::node {
+namespace {
+
+NodeConfig BaseConfig() {
+  NodeConfig cfg;
+  cfg.cpu.arrival_rate = 1.0;
+  cfg.cpu.service_rate = 10.0;
+  cfg.cpu.power_down_threshold = 0.1;
+  cfg.cpu.power_up_delay = 0.001;
+  cfg.cpu_power = energy::Pxa271();
+  cfg.sample_bits = 256;
+  cfg.report_distance_m = 40.0;
+  cfg.listen_duty_cycle = 0.01;
+  return cfg;
+}
+
+TEST(SensorNode, PowerBreakdownPositiveAndOrdered) {
+  const SensorNode node(BaseConfig());
+  const core::MarkovCpuModel cpu_model;
+  const NodePowerBreakdown p = node.AveragePower(cpu_model);
+  EXPECT_GT(p.cpu_mw, 0.0);
+  EXPECT_GT(p.radio_tx_mw, 0.0);
+  EXPECT_GT(p.Total(), p.cpu_mw);
+}
+
+TEST(SensorNode, LifetimeMatchesBatteryArithmetic) {
+  const SensorNode node(BaseConfig());
+  const core::MarkovCpuModel cpu_model;
+  const double power_mw = node.AveragePower(cpu_model).Total();
+  const double expected =
+      energy::Battery(2500.0, 3.0).LifetimeSeconds(power_mw);
+  EXPECT_NEAR(node.LifetimeSeconds(cpu_model), expected, 1e-6);
+}
+
+TEST(SensorNode, HigherSamplingShortensLifetime) {
+  NodeConfig busy = BaseConfig();
+  busy.cpu.arrival_rate = 5.0;
+  const core::MarkovCpuModel cpu_model;
+  EXPECT_LT(SensorNode(busy).LifetimeSeconds(cpu_model),
+            SensorNode(BaseConfig()).LifetimeSeconds(cpu_model));
+}
+
+TEST(SensorNode, RelayLoadIncreasesPower) {
+  SensorNode relay(BaseConfig());
+  const core::MarkovCpuModel cpu_model;
+  const double base_power = relay.AveragePower(cpu_model).Total();
+  relay.SetRelayLoad(10.0);
+  EXPECT_GT(relay.AveragePower(cpu_model).Total(), base_power);
+}
+
+TEST(SensorNode, AggregationReducesRadioEnergy) {
+  NodeConfig all = BaseConfig();
+  NodeConfig tenth = BaseConfig();
+  tenth.report_fraction = 0.1;
+  const core::MarkovCpuModel cpu_model;
+  EXPECT_LT(SensorNode(tenth).AveragePower(cpu_model).radio_tx_mw,
+            SensorNode(all).AveragePower(cpu_model).radio_tx_mw);
+}
+
+TEST(SensorNode, ConfigValidation) {
+  NodeConfig bad = BaseConfig();
+  bad.listen_duty_cycle = 1.5;
+  EXPECT_THROW(SensorNode{bad}, util::InvalidArgument);
+  NodeConfig bad2 = BaseConfig();
+  bad2.sample_bits = 0;
+  EXPECT_THROW(SensorNode{bad2}, util::InvalidArgument);
+}
+
+TEST(Network, GridPositions) {
+  const auto grid = MakeGrid(3, 2, 10.0);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_DOUBLE_EQ(grid[0].x, 10.0);
+  EXPECT_DOUBLE_EQ(grid[5].x, 30.0);
+  EXPECT_DOUBLE_EQ(grid[5].y, 20.0);
+}
+
+TEST(Network, DirectHopWhenInRange) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.sink = {0.0, 0.0};
+  cfg.max_hop_m = 100.0;
+  const Network net(cfg, {{50.0, 0.0}});
+  EXPECT_EQ(net.NextHop(0), 0u);  // direct to sink
+}
+
+TEST(Network, MultiHopChainRoutesTowardSink) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.sink = {0.0, 0.0};
+  cfg.max_hop_m = 60.0;
+  // Chain at x = 50, 100, 150: node 2 -> node 1 -> node 0 -> sink.
+  const Network net(cfg, {{50.0, 0.0}, {100.0, 0.0}, {150.0, 0.0}});
+  EXPECT_EQ(net.NextHop(0), 0u);
+  EXPECT_EQ(net.NextHop(1), 0u);
+  EXPECT_EQ(net.NextHop(2), 1u);
+}
+
+TEST(Network, RelayLoadAccumulatesOnHotPath) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.sink = {0.0, 0.0};
+  cfg.max_hop_m = 60.0;
+  const Network net(cfg, {{50.0, 0.0}, {100.0, 0.0}, {150.0, 0.0}});
+  const core::MarkovCpuModel cpu_model;
+  const NetworkReport report = net.Evaluate(cpu_model);
+  // Node 0 relays traffic of nodes 1 and 2; node 1 relays node 2's.
+  EXPECT_NEAR(report.nodes[0].relay_packets_per_second, 2.0, 1e-9);
+  EXPECT_NEAR(report.nodes[1].relay_packets_per_second, 1.0, 1e-9);
+  EXPECT_NEAR(report.nodes[2].relay_packets_per_second, 0.0, 1e-9);
+  // The hottest relay dies first.
+  EXPECT_EQ(report.bottleneck_node, 0u);
+  EXPECT_DOUBLE_EQ(report.network_lifetime_seconds,
+                   report.nodes[0].lifetime_seconds);
+}
+
+TEST(Network, LifetimeIsMinOverNodes) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.max_hop_m = 1000.0;
+  const Network net(cfg, MakeGrid(3, 3, 20.0));
+  const core::MarkovCpuModel cpu_model;
+  const NetworkReport report = net.Evaluate(cpu_model);
+  for (const NodeReport& n : report.nodes) {
+    EXPECT_GE(n.lifetime_seconds, report.network_lifetime_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace wsn::node
