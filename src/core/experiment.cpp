@@ -20,6 +20,9 @@ std::vector<double> LinearSpace(double lo, double hi, std::size_t count) {
 }
 
 std::vector<double> PaperPdtGrid(std::size_t count, double eps) {
+  Require(count >= 2,
+          "PaperPdtGrid needs at least two points to span [eps, 1]");
+  Require(eps > 0.0 && eps < 1.0, "eps must lie strictly inside (0, 1)");
   std::vector<double> grid = LinearSpace(0.0, 1.0, count);
   if (grid[0] == 0.0) grid[0] = eps;
   return grid;

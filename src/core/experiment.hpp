@@ -34,9 +34,11 @@ struct SweepSeries {
 /// Evenly spaced values in [lo, hi] inclusive.
 std::vector<double> LinearSpace(double lo, double hi, std::size_t count);
 
-/// The paper's default PDT grid: 0..1 s (the zero endpoint is nudged to
-/// `eps` so every model, including the closed form with e^{lambda*T},
-/// stays in its documented domain).
+/// The paper's default PDT grid: `count` evenly spaced points over
+/// 0..1 s (the zero endpoint is nudged to `eps` so every model,
+/// including the closed form with e^{lambda*T}, stays in its documented
+/// domain).  Requires count >= 2 and eps in (0, 1); throws
+/// InvalidArgument otherwise.
 std::vector<double> PaperPdtGrid(std::size_t count = 11, double eps = 1e-9);
 
 /// Run `model` over a PDT sweep at fixed base params, computing energy

@@ -1,0 +1,53 @@
+#include "netsim/mac.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsn::netsim {
+
+using util::Require;
+
+void MacConfig::Validate() const {
+  Require(bitrate_bps > 0.0, "bitrate must be positive");
+  Require(backoff_window_s >= 0.0, "backoff window must be >= 0");
+  Require(wakeup_interval_s >= 0.0, "wakeup interval must be >= 0");
+  Require(p_loss >= 0.0 && p_loss < 1.0, "p_loss must be in [0, 1)");
+  Require(max_queue > 0, "MAC queue capacity must be positive");
+}
+
+DutyCycledMac::DutyCycledMac(MacConfig config, energy::RadioParameters radio,
+                             std::size_t node_count, util::Rng& rng)
+    : config_(config), radio_(radio) {
+  config_.Validate();
+  wake_phase_.resize(node_count, 0.0);
+  if (config_.wakeup_interval_s > 0.0) {
+    for (double& phase : wake_phase_) {
+      phase = util::UniformDouble(rng) * config_.wakeup_interval_s;
+    }
+  }
+}
+
+double DutyCycledMac::TxDelay(double now, std::size_t bits,
+                              std::size_t receiver, util::Rng& rng) const {
+  double start = now;
+  if (config_.backoff_window_s > 0.0) {
+    start += util::UniformDouble(rng) * config_.backoff_window_s;
+  }
+  if (config_.wakeup_interval_s > 0.0 && receiver != kSinkReceiver) {
+    // Wait for the receiver's next wake slot at phase + k * interval.
+    const double interval = config_.wakeup_interval_s;
+    const double phase = wake_phase_[receiver];
+    const double k = std::ceil((start - phase) / interval);
+    const double slot = phase + k * interval;
+    if (slot > start) start = slot;
+  }
+  return (start - now) + TxDuration(bits);
+}
+
+bool DutyCycledMac::AttemptLost(util::Rng& rng) const {
+  if (config_.p_loss <= 0.0) return false;
+  return util::UniformDouble(rng) < config_.p_loss;
+}
+
+}  // namespace wsn::netsim

@@ -1,0 +1,321 @@
+#include "netsim/netsim.hpp"
+
+#include <algorithm>
+
+#include "energy/energy_model.hpp"
+#include "util/error.hpp"
+#include "wsn/node.hpp"
+
+namespace wsn::netsim {
+
+using util::Require;
+
+void NetSimConfig::Validate() const {
+  Require(!positions.empty(), "netsim needs at least one node");
+  Require(horizon_s > 0.0, "horizon must be positive");
+  Require(timeline_interval_s >= 0.0, "timeline interval must be >= 0");
+  Require(battery_mah_override.empty() ||
+              battery_mah_override.size() == positions.size(),
+          "battery override must be empty or one entry per node");
+  for (double mah : battery_mah_override) {
+    Require(mah > 0.0, "battery override entries must be positive");
+  }
+  mac.Validate();
+  // Reuse the node-layer validation (duty cycle, sample bits, ...).
+  node::SensorNode validator(network.node);
+  (void)validator;
+}
+
+double CpuAveragePowerMw(const NetSimConfig& config,
+                         const core::CpuEnergyModel& model) {
+  const core::ModelEvaluation eval = model.Evaluate(config.network.node.cpu);
+  return energy::AveragePowerMilliwatts(eval.shares,
+                                        config.network.node.cpu_power);
+}
+
+NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
+                                   util::Rng rng)
+    : config_(std::move(config)),
+      sim_(config_.queue_kind),
+      rng_(rng),
+      routing_(config_.network.sink, config_.network.max_hop_m,
+               config_.positions),
+      mac_(config_.mac, config_.network.node.radio, config_.positions.size(),
+           rng_) {
+  config_.Validate();
+  Require(cpu_power_mw >= 0.0, "CPU power must be >= 0");
+
+  const node::NodeConfig& tmpl = config_.network.node;
+  baseline_mw_ = cpu_power_mw +
+                 tmpl.listen_duty_cycle * tmpl.radio.listen_mw +
+                 (1.0 - tmpl.listen_duty_cycle) * tmpl.radio.sleep_mw;
+
+  const std::size_t n = config_.positions.size();
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mah = config_.battery_mah_override.empty()
+                           ? tmpl.battery_mah
+                           : config_.battery_mah_override[i];
+    nodes_.emplace_back(energy::Battery(mah, tmpl.battery_volts));
+    NodeRt& node = nodes_.back();
+    if (config_.traffic_factory) {
+      node.traffic = config_.traffic_factory(i);
+      Require(node.traffic != nullptr, "traffic factory returned null");
+    } else {
+      const double rate = tmpl.cpu.arrival_rate * tmpl.report_fraction;
+      if (rate > 0.0) node.traffic = des::MakePoissonWorkload(rate);
+    }
+  }
+  alive_.assign(n, true);
+}
+
+NetSimReport NetworkSimulator::Run() {
+  Require(!ran_, "NetworkSimulator::Run is single-shot; make a new instance");
+  ran_ = true;
+
+  CheckPartition();  // a deployment can be partitioned from the start
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    ScheduleNextArrival(i);
+    RescheduleDeath(i);
+  }
+  if (config_.timeline_interval_s > 0.0) {
+    sim_.ScheduleAt(config_.timeline_interval_s, [this] { TimelineTick(); });
+  }
+
+  sim_.RunUntil(config_.horizon_s);
+
+  const double end = stopped_ ? stop_time_s_ : config_.horizon_s;
+  NetSimReport report;
+  report.nodes.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeRt& node = nodes_[i];
+    if (node.alive) Touch(i, end);
+    node.stats.alive = node.alive;
+    node.stats.remaining_j = node.battery.Remaining();
+    node.stats.energy_used_j =
+        node.battery.CapacityJoules() - node.battery.Remaining();
+    if (config_.timeline_interval_s > 0.0 &&
+        (node.stats.timeline.empty() ||
+         node.stats.timeline.back().time_s < end)) {
+      node.stats.timeline.push_back({end, node.battery.Remaining()});
+    }
+    report.nodes.push_back(std::move(node.stats));
+  }
+  report.packets = counters_;
+  report.first_death_s = first_death_s_;
+  report.first_dead_node = first_dead_node_;
+  report.partition_s = partition_s_;
+  report.end_s = end;
+  report.events = sim_.ProcessedEvents();
+  return report;
+}
+
+void NetworkSimulator::ScheduleNextArrival(std::size_t i) {
+  NodeRt& node = nodes_[i];
+  if (!node.traffic) return;
+  const auto next = node.traffic->NextArrival(sim_.Now(), rng_);
+  if (!next) return;
+  const double t = std::max(*next, sim_.Now());
+  if (t > config_.horizon_s) return;
+  sim_.ScheduleAt(t, [this, i] { OnArrival(i); });
+}
+
+void NetworkSimulator::OnArrival(std::size_t i) {
+  if (stopped_) return;
+  NodeRt& node = nodes_[i];
+  if (!node.alive) return;  // dead sources stop reporting
+  ++counters_.generated;
+  ++node.stats.generated;
+  Packet pkt;
+  pkt.id = next_packet_id_++;
+  pkt.source = i;
+  pkt.created_s = sim_.Now();
+  pkt.bits = config_.network.node.sample_bits;
+  Enqueue(i, pkt);
+  ScheduleNextArrival(i);
+}
+
+void NetworkSimulator::Enqueue(std::size_t i, const Packet& pkt) {
+  NodeRt& node = nodes_[i];
+  if (!node.alive) {
+    DropPacket(i, DropReason::kNodeDied);
+    return;
+  }
+  if (node.queue.size() >= mac_.Config().max_queue) {
+    DropPacket(i, DropReason::kQueueOverflow);
+    return;
+  }
+  node.queue.push_back(pkt);
+  StartNext(i);
+}
+
+void NetworkSimulator::StartNext(std::size_t i) {
+  NodeRt& node = nodes_[i];
+  if (stopped_ || !node.alive || node.busy) return;
+  // A partitioned holder sheds its backlog immediately.
+  while (!node.queue.empty() &&
+         routing_.NextHop(i) == RoutingTable::kNoRoute) {
+    DropPacket(i, DropReason::kNoRoute);
+    node.queue.pop_front();
+  }
+  if (node.queue.empty()) return;
+  node.busy = true;
+  const Packet& pkt = node.queue.front();
+  const std::size_t receiver = routing_.NextHop(i);
+  const std::size_t mac_receiver = (receiver == RoutingTable::kSink)
+                                       ? DutyCycledMac::kSinkReceiver
+                                       : receiver;
+  const double delay = mac_.TxDelay(sim_.Now(), pkt.bits, mac_receiver, rng_);
+  sim_.ScheduleAfter(delay, [this, i] { FinishTx(i); });
+}
+
+void NetworkSimulator::FinishTx(std::size_t i) {
+  if (stopped_) return;
+  NodeRt& node = nodes_[i];
+  node.busy = false;
+  if (!node.alive) return;  // died mid-TX; the queue was flushed at death
+  if (node.queue.empty()) return;
+  Packet pkt = node.queue.front();
+  node.queue.pop_front();
+
+  const std::size_t receiver = routing_.NextHop(i);
+  if (receiver == RoutingTable::kNoRoute) {
+    DropPacket(i, DropReason::kNoRoute);
+    StartNext(i);
+    return;
+  }
+  // The sender pays for the attempt whatever its fate (this drain may
+  // deplete the sender; the in-flight packet still completes the hop).
+  DrainDiscrete(i, mac_.TxEnergyJoules(pkt.bits, routing_.HopDistance(i)));
+
+  if (receiver != RoutingTable::kSink && !nodes_[receiver].alive) {
+    DropPacket(i, DropReason::kDeadNextHop);
+  } else if (mac_.AttemptLost(rng_)) {
+    if (pkt.retries >= mac_.Config().max_retries) {
+      DropPacket(i, DropReason::kLinkLoss);
+    } else if (nodes_[i].alive) {
+      ++counters_.retransmissions;
+      ++pkt.retries;
+      nodes_[i].queue.push_front(pkt);
+    } else {
+      DropPacket(i, DropReason::kNodeDied);
+    }
+  } else if (receiver == RoutingTable::kSink) {
+    ++counters_.delivered;
+    ++nodes_[pkt.source].stats.delivered;
+  } else {
+    DrainDiscrete(receiver, mac_.RxEnergyJoules(pkt.bits));
+    pkt.retries = 0;
+    if (++pkt.hops > nodes_.size()) {
+      DropPacket(receiver, DropReason::kTtlExceeded);
+    } else {
+      ++counters_.forwarded;
+      ++nodes_[receiver].stats.forwarded;
+      Enqueue(receiver, pkt);
+    }
+  }
+  if (nodes_[i].alive) StartNext(i);
+}
+
+void NetworkSimulator::Touch(std::size_t i, double now) {
+  NodeRt& node = nodes_[i];
+  const double dt = now - node.last_update_s;
+  if (dt > 0.0) {
+    node.battery.Drain(baseline_mw_ * dt / 1000.0);
+    node.last_update_s = now;
+  }
+}
+
+void NetworkSimulator::DrainDiscrete(std::size_t i, double joules) {
+  NodeRt& node = nodes_[i];
+  if (!node.alive) return;
+  Touch(i, sim_.Now());
+  node.battery.Drain(joules);
+  if (node.battery.Depleted()) {
+    OnDeath(i);
+  } else {
+    RescheduleDeath(i);
+  }
+}
+
+void NetworkSimulator::RescheduleDeath(std::size_t i) {
+  NodeRt& node = nodes_[i];
+  if (node.death_event != 0) {
+    sim_.Cancel(node.death_event);
+    node.death_event = 0;
+  }
+  if (baseline_mw_ <= 0.0) return;  // only discrete drains can kill
+  const double seconds_left =
+      node.battery.Remaining() / (baseline_mw_ / 1000.0);
+  const double when = sim_.Now() + seconds_left;
+  if (when > config_.horizon_s) return;  // outlives the horizon
+  node.death_event = sim_.ScheduleAt(when, [this, i] {
+    if (stopped_ || !nodes_[i].alive) return;
+    nodes_[i].death_event = 0;
+    Touch(i, sim_.Now());
+    nodes_[i].battery.Drain(nodes_[i].battery.Remaining());
+    OnDeath(i);
+  });
+}
+
+void NetworkSimulator::OnDeath(std::size_t i) {
+  NodeRt& node = nodes_[i];
+  node.alive = false;
+  alive_[i] = false;
+  node.stats.death_s = sim_.Now();
+  if (node.death_event != 0) {
+    sim_.Cancel(node.death_event);
+    node.death_event = 0;
+  }
+  for (std::size_t k = 0; k < node.queue.size(); ++k) {
+    DropPacket(i, DropReason::kNodeDied);
+  }
+  node.queue.clear();
+  if (first_death_s_ == std::numeric_limits<double>::infinity()) {
+    first_death_s_ = sim_.Now();
+    first_dead_node_ = i;
+    if (config_.stop_at_first_death) Stop();
+  }
+  if (stopped_) return;
+  if (config_.rerouting) routing_.Recompute(alive_);
+  CheckPartition();
+}
+
+void NetworkSimulator::CheckPartition() {
+  if (partition_s_ != std::numeric_limits<double>::infinity()) return;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (alive_[i] && !routing_.Connected(i, alive_)) {
+      partition_s_ = sim_.Now();
+      if (config_.stop_at_partition) Stop();
+      return;
+    }
+  }
+}
+
+void NetworkSimulator::DropPacket(std::size_t holder, DropReason reason) {
+  counters_.Drop(reason);
+  ++nodes_[holder].stats.dropped;
+}
+
+void NetworkSimulator::TimelineTick() {
+  if (stopped_) return;
+  const double now = sim_.Now();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeRt& node = nodes_[i];
+    if (!node.alive) continue;
+    Touch(i, now);
+    node.stats.timeline.push_back({now, node.battery.Remaining()});
+  }
+  const double next = now + config_.timeline_interval_s;
+  if (next <= config_.horizon_s) {
+    sim_.ScheduleAt(next, [this] { TimelineTick(); });
+  }
+}
+
+void NetworkSimulator::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  stop_time_s_ = sim_.Now();
+}
+
+}  // namespace wsn::netsim

@@ -1,0 +1,169 @@
+// Event-driven, packet-level multi-node WSN simulator.
+//
+// This is the dynamic counterpart of the static estimator in
+// wsn::node::Network::Evaluate.  Where the estimator assumes every node
+// drains at a constant average power forever, this simulator generates
+// individual packets (steady Poisson by default, any des::Workload
+// otherwise), routes them hop-by-hop with greedy geographic routing,
+// pays per-packet TX/RX radio energy at each hop, drains a per-node
+// battery continuously at the CPU + duty-cycle listen baseline, and
+// reacts to battery depletion: dead relays trigger re-routing (when
+// enabled) and, eventually, network partition.
+//
+// Energy accounting matches Network::Evaluate term by term (CPU average
+// power from the same core::CpuEnergyModel, identical radio per-packet
+// costs, identical listen/sleep baseline), so with re-routing disabled
+// and steady traffic the simulated time-to-first-death converges to the
+// analytic lifetime — the validation anchor for this subsystem.
+//
+// One Simulator = one replication, single-threaded and bit-reproducible
+// for a given (seed, replication) pair; parallelism happens one level up
+// in netsim/replication.hpp, mirroring the DES kernel's design.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+#include "des/simulator.hpp"
+#include "des/workload.hpp"
+#include "energy/battery.hpp"
+#include "netsim/mac.hpp"
+#include "netsim/packet.hpp"
+#include "netsim/routing.hpp"
+#include "util/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace wsn::netsim {
+
+struct NetSimConfig {
+  /// Node template, sink position and hop range (same struct the static
+  /// estimator consumes, so one topology drives both).
+  node::NetworkConfig network;
+  std::vector<node::Position> positions;
+
+  MacConfig mac;
+
+  double horizon_s = 1.0e7;  ///< hard simulation stop
+  bool rerouting = true;     ///< recompute routes when a node dies
+  bool stop_at_first_death = false;
+  bool stop_at_partition = false;
+
+  /// Sample every node's remaining energy at this period (0 disables).
+  double timeline_interval_s = 0.0;
+
+  /// Per-node battery capacity override (empty = template's battery_mah
+  /// for every node).  Lets tests/benchmarks stage asymmetric deaths.
+  std::vector<double> battery_mah_override;
+
+  des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
+
+  /// Per-node generator of *reported* packets.  Null means steady Poisson
+  /// at arrival_rate * report_fraction, matching the analytic model.  The
+  /// factory is invoked once per (node, replication), possibly from
+  /// worker threads, so it must be thread-safe (pure construction is).
+  std::function<std::unique_ptr<des::Workload>(std::size_t node)>
+      traffic_factory;
+
+  void Validate() const;
+};
+
+struct TimelinePoint {
+  double time_s = 0.0;
+  double remaining_j = 0.0;
+};
+
+struct NodeSimStats {
+  std::uint64_t generated = 0;  ///< packets originated here
+  std::uint64_t forwarded = 0;  ///< packets received for relay
+  std::uint64_t delivered = 0;  ///< own packets that reached the sink
+  std::uint64_t dropped = 0;    ///< packets lost while held here
+  double energy_used_j = 0.0;
+  double remaining_j = 0.0;
+  bool alive = true;
+  /// Death instant; +infinity while alive at the end of the run.
+  double death_s = std::numeric_limits<double>::infinity();
+  std::vector<TimelinePoint> timeline;
+};
+
+struct NetSimReport {
+  std::vector<NodeSimStats> nodes;
+  PacketCounters packets;
+  double first_death_s = std::numeric_limits<double>::infinity();
+  std::size_t first_dead_node = static_cast<std::size_t>(-1);
+  double partition_s = std::numeric_limits<double>::infinity();
+  double end_s = 0.0;            ///< horizon or early-stop instant
+  std::uint64_t events = 0;      ///< DES events fired
+
+  double DeliveryRatio() const noexcept { return packets.DeliveryRatio(); }
+};
+
+/// Average CPU power (mW) of the template node under `model` — evaluated
+/// once and shared by every node/replication so the (possibly expensive)
+/// model runs outside the hot loop.
+double CpuAveragePowerMw(const NetSimConfig& config,
+                         const core::CpuEnergyModel& model);
+
+/// One replication of the packet-level simulation.
+class NetworkSimulator {
+ public:
+  /// `rng` is taken by value: the caller hands each replication its own
+  /// jump-separated stream.
+  NetworkSimulator(NetSimConfig config, double cpu_power_mw, util::Rng rng);
+
+  /// Run the replication to its horizon (or early stop) and report.
+  /// Callable once per instance.
+  NetSimReport Run();
+
+ private:
+  struct NodeRt {
+    energy::Battery battery;
+    double last_update_s = 0.0;
+    bool alive = true;
+    bool busy = false;  ///< radio TX in progress
+    std::deque<Packet> queue;
+    des::EventId death_event = 0;
+    std::unique_ptr<des::Workload> traffic;
+    NodeSimStats stats;
+
+    explicit NodeRt(energy::Battery b) : battery(b) {}
+  };
+
+  void ScheduleNextArrival(std::size_t i);
+  void OnArrival(std::size_t i);
+  void Enqueue(std::size_t i, const Packet& pkt);
+  void StartNext(std::size_t i);
+  void FinishTx(std::size_t i);
+  void Touch(std::size_t i, double now);
+  void DrainDiscrete(std::size_t i, double joules);
+  void RescheduleDeath(std::size_t i);
+  void OnDeath(std::size_t i);
+  void CheckPartition();
+  void DropPacket(std::size_t holder, DropReason reason);
+  void TimelineTick();
+  void Stop();
+
+  NetSimConfig config_;
+  des::Simulator sim_;
+  util::Rng rng_;
+  RoutingTable routing_;
+  DutyCycledMac mac_;
+  std::vector<NodeRt> nodes_;
+  std::vector<bool> alive_;
+  PacketCounters counters_;
+  double baseline_mw_ = 0.0;
+  std::uint64_t next_packet_id_ = 0;
+  double first_death_s_ = std::numeric_limits<double>::infinity();
+  std::size_t first_dead_node_ = static_cast<std::size_t>(-1);
+  double partition_s_ = std::numeric_limits<double>::infinity();
+  bool stopped_ = false;
+  double stop_time_s_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace wsn::netsim

@@ -1,0 +1,34 @@
+#include "netsim/packet.hpp"
+
+namespace wsn::netsim {
+
+const char* DropReasonName(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNoRoute:
+      return "no-route";
+    case DropReason::kDeadNextHop:
+      return "dead-next-hop";
+    case DropReason::kNodeDied:
+      return "node-died";
+    case DropReason::kLinkLoss:
+      return "link-loss";
+    case DropReason::kTtlExceeded:
+      return "ttl-exceeded";
+    case DropReason::kQueueOverflow:
+      return "queue-overflow";
+  }
+  return "unknown";
+}
+
+std::uint64_t PacketCounters::TotalDropped() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t d : dropped) total += d;
+  return total;
+}
+
+double PacketCounters::DeliveryRatio() const noexcept {
+  if (generated == 0) return 1.0;
+  return static_cast<double>(delivered) / static_cast<double>(generated);
+}
+
+}  // namespace wsn::netsim

@@ -1,0 +1,56 @@
+// Packet-level bookkeeping for the network simulator: the in-flight
+// packet record, the taxonomy of drop causes, and the global counters a
+// simulation run accumulates.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace wsn::netsim {
+
+/// One application packet travelling hop-by-hop toward the sink.
+struct Packet {
+  std::uint64_t id = 0;       ///< unique per replication, in creation order
+  std::size_t source = 0;     ///< originating node index
+  double created_s = 0.0;     ///< generation time
+  std::size_t bits = 0;       ///< payload size (radio energy driver)
+  std::uint32_t hops = 0;     ///< hops traversed so far
+  std::uint32_t retries = 0;  ///< retransmissions on the current hop
+};
+
+/// Why a packet failed to reach the sink.
+enum class DropReason : std::size_t {
+  kNoRoute = 0,    ///< holder has no live route to the sink
+  kDeadNextHop,    ///< next hop died while the packet was in flight
+  kNodeDied,       ///< the holder died with the packet queued
+  kLinkLoss,       ///< max_retries exceeded on a lossy link
+  kTtlExceeded,    ///< hop-count guard tripped (routing anomaly)
+  kQueueOverflow,  ///< MAC queue was full at enqueue
+};
+
+inline constexpr std::size_t kDropReasonCount = 6;
+
+const char* DropReasonName(DropReason reason) noexcept;
+
+/// Network-wide packet counters for one replication.
+struct PacketCounters {
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;        ///< reached the sink
+  std::uint64_t forwarded = 0;        ///< relay hand-offs (RX at a relay)
+  std::uint64_t retransmissions = 0;  ///< extra TX attempts on lossy links
+  std::array<std::uint64_t, kDropReasonCount> dropped{};
+
+  std::uint64_t TotalDropped() const noexcept;
+  void Drop(DropReason reason) noexcept {
+    ++dropped[static_cast<std::size_t>(reason)];
+  }
+  std::uint64_t Dropped(DropReason reason) const noexcept {
+    return dropped[static_cast<std::size_t>(reason)];
+  }
+
+  /// delivered / generated (1.0 when nothing was generated).
+  double DeliveryRatio() const noexcept;
+};
+
+}  // namespace wsn::netsim

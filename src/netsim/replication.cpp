@@ -1,0 +1,80 @@
+#include "netsim/replication.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wsn::netsim {
+
+namespace {
+
+ReplicationSummary Summarize(std::vector<NetSimReport> reports,
+                             const ReplicationConfig& rep) {
+  ReplicationSummary out;
+  out.replications = reports.size();
+  for (const NetSimReport& report : reports) {
+    if (std::isfinite(report.first_death_s)) {
+      out.first_death_s.stats.Add(report.first_death_s);
+    }
+    if (std::isfinite(report.partition_s)) {
+      out.partition_s.stats.Add(report.partition_s);
+    }
+    out.delivery_ratio.stats.Add(report.DeliveryRatio());
+    out.delivered.stats.Add(static_cast<double>(report.packets.delivered));
+  }
+  for (MetricSummary* m : {&out.first_death_s, &out.partition_s,
+                           &out.delivery_ratio, &out.delivered}) {
+    m->observed = m->stats.Count();
+    if (m->observed >= 2) {
+      m->ci = util::IntervalFromStats(m->stats, rep.ci_level);
+    } else {
+      m->ci = {m->stats.Mean(), 0.0, rep.ci_level};
+    }
+  }
+  if (rep.keep_reports) out.reports = std::move(reports);
+  return out;
+}
+
+std::vector<NetSimReport> RunAll(const NetSimConfig& config,
+                                 double cpu_power_mw,
+                                 const ReplicationConfig& rep,
+                                 util::ThreadPool* pool) {
+  util::Require(rep.replications > 0, "need at least one replication");
+  const util::Rng master(rep.seed);
+  std::vector<NetSimReport> reports(rep.replications);
+  const auto run_one = [&](std::size_t r) {
+    NetworkSimulator sim(config, cpu_power_mw, master.MakeStream(r));
+    reports[r] = sim.Run();
+  };
+  if (pool == nullptr) {
+    for (std::size_t r = 0; r < rep.replications; ++r) run_one(r);
+  } else {
+    util::ParallelFor(*pool, rep.replications, run_one);
+  }
+  return reports;
+}
+
+}  // namespace
+
+ReplicationSummary RunReplications(const NetSimConfig& config,
+                                   const core::CpuEnergyModel& cpu_model,
+                                   const ReplicationConfig& rep,
+                                   util::ThreadPool& pool) {
+  // Evaluate the CPU model once, outside the workers: implementations are
+  // not required to be thread-safe and some are expensive.
+  const double cpu_mw = CpuAveragePowerMw(config, cpu_model);
+  return Summarize(RunAll(config, cpu_mw, rep, &pool), rep);
+}
+
+ReplicationSummary RunReplications(const NetSimConfig& config,
+                                   const core::CpuEnergyModel& cpu_model,
+                                   const ReplicationConfig& rep) {
+  const double cpu_mw = CpuAveragePowerMw(config, cpu_model);
+  if (rep.threads == 1) {
+    return Summarize(RunAll(config, cpu_mw, rep, nullptr), rep);
+  }
+  util::ThreadPool pool(rep.threads);
+  return Summarize(RunAll(config, cpu_mw, rep, &pool), rep);
+}
+
+}  // namespace wsn::netsim

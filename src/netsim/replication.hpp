@@ -1,0 +1,58 @@
+// Independent-replication runner for the packet-level network simulator.
+//
+// Fans N replications across a util::ThreadPool; replication r draws its
+// randomness from the master seed's r-th jump-separated xoshiro stream,
+// so results are bit-identical for a given (seed, replication) pair no
+// matter how many threads run them or in what order they finish.
+// Aggregation happens serially after the join, in replication order, so
+// the summary itself is deterministic too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "netsim/netsim.hpp"
+#include "util/statistics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace wsn::netsim {
+
+struct ReplicationConfig {
+  std::size_t replications = 32;
+  std::uint64_t seed = 2008;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+  double ci_level = 0.95;
+  bool keep_reports = false;  ///< retain every per-replication report
+};
+
+/// A metric observed in (a subset of) the replications.
+struct MetricSummary {
+  util::RunningStats stats;
+  util::ConfidenceInterval ci;
+  std::size_t observed = 0;  ///< replications where the event occurred
+};
+
+struct ReplicationSummary {
+  MetricSummary first_death_s;    ///< over reps where a node died
+  MetricSummary partition_s;      ///< over reps where a partition occurred
+  MetricSummary delivery_ratio;   ///< over all reps
+  MetricSummary delivered;        ///< packets delivered, over all reps
+  std::size_t replications = 0;
+  std::vector<NetSimReport> reports;  ///< filled when keep_reports
+};
+
+/// Run on an existing pool (reused across calls, e.g. by benchmarks).
+ReplicationSummary RunReplications(const NetSimConfig& config,
+                                   const core::CpuEnergyModel& cpu_model,
+                                   const ReplicationConfig& rep,
+                                   util::ThreadPool& pool);
+
+/// Convenience overload: runs serially when rep.threads == 1, otherwise
+/// on a fresh pool of rep.threads workers.
+ReplicationSummary RunReplications(const NetSimConfig& config,
+                                   const core::CpuEnergyModel& cpu_model,
+                                   const ReplicationConfig& rep);
+
+}  // namespace wsn::netsim

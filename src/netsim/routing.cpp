@@ -1,0 +1,72 @@
+#include "netsim/routing.hpp"
+
+#include "util/error.hpp"
+
+namespace wsn::netsim {
+
+using util::Require;
+
+RoutingTable::RoutingTable(node::Position sink, double max_hop_m,
+                           std::vector<node::Position> positions)
+    : sink_(sink), max_hop_m_(max_hop_m), positions_(std::move(positions)) {
+  Require(!positions_.empty(), "routing table needs at least one node");
+  Require(max_hop_m_ > 0.0, "hop range must be positive");
+  const std::size_t n = positions_.size();
+  to_sink_.resize(n);
+  next_.assign(n, kNoRoute);
+  hop_distance_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    to_sink_[i] = node::Distance(positions_[i], sink_);
+  }
+  Recompute(std::vector<bool>(n, true));
+}
+
+void RoutingTable::Recompute(const std::vector<bool>& alive) {
+  const std::size_t n = positions_.size();
+  Require(alive.size() == n, "alive mask size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) {
+      next_[i] = kNoRoute;
+      hop_distance_[i] = 0.0;
+      continue;
+    }
+    if (to_sink_[i] <= max_hop_m_) {
+      next_[i] = kSink;
+      hop_distance_[i] = to_sink_[i];
+      continue;
+    }
+    // Strictly-closer greedy choice; ties broken by lowest index via the
+    // strict comparison in scan order, matching Network::NextHop.
+    std::size_t best = kNoRoute;
+    double best_remaining = to_sink_[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !alive[j]) continue;
+      if (node::Distance(positions_[i], positions_[j]) > max_hop_m_) continue;
+      if (to_sink_[j] < best_remaining) {
+        best_remaining = to_sink_[j];
+        best = j;
+      }
+    }
+    next_[i] = best;
+    hop_distance_[i] =
+        (best == kNoRoute) ? 0.0
+                           : node::Distance(positions_[i], positions_[best]);
+  }
+}
+
+bool RoutingTable::Connected(std::size_t i,
+                             const std::vector<bool>& alive) const {
+  Require(i < positions_.size(), "node index out of range");
+  std::size_t cur = i;
+  std::size_t guard = 0;
+  while (true) {
+    if (!alive[cur]) return false;
+    const std::size_t hop = next_[cur];
+    if (hop == kSink) return true;
+    if (hop == kNoRoute) return false;
+    cur = hop;
+    if (++guard > positions_.size()) return false;  // defensive loop guard
+  }
+}
+
+}  // namespace wsn::netsim

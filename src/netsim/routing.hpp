@@ -1,0 +1,57 @@
+// Dynamic greedy geographic routing over the live subset of a deployment.
+//
+// This is the event-driven counterpart of wsn::node::Network::NextHop: the
+// same greedy rule (forward to the in-range neighbour strictly closer to
+// the sink that minimizes remaining distance), but restricted to nodes
+// that are still alive, so the table can be recomputed whenever a battery
+// empties.  One deliberate difference from the static estimator: a greedy
+// dead end out of sink range maps to kNoRoute here instead of a
+// direct-to-sink long shot, because the packet simulator must know when
+// the network has partitioned.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace wsn::netsim {
+
+class RoutingTable {
+ public:
+  /// NextHop() sentinel: the sink is reachable directly.
+  static constexpr std::size_t kSink = static_cast<std::size_t>(-1);
+  /// NextHop() sentinel: no live route exists (dead end or dead node).
+  static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-2);
+
+  RoutingTable(node::Position sink, double max_hop_m,
+               std::vector<node::Position> positions);
+
+  std::size_t Size() const noexcept { return positions_.size(); }
+
+  /// Rebuild every next hop considering only `alive[j]` nodes as relays.
+  void Recompute(const std::vector<bool>& alive);
+
+  /// kSink, kNoRoute, or the relay index for node i.
+  std::size_t NextHop(std::size_t i) const { return next_[i]; }
+
+  /// Distance (m) of node i's current hop; 0 when it has no route.
+  double HopDistance(std::size_t i) const { return hop_distance_[i]; }
+
+  /// True when node i's current next-hop chain ends at the sink without
+  /// crossing a node that is dead in `alive`.  With rerouting disabled the
+  /// table goes stale, so the chain is re-checked against `alive` here.
+  bool Connected(std::size_t i, const std::vector<bool>& alive) const;
+
+  double DistanceToSink(std::size_t i) const { return to_sink_[i]; }
+
+ private:
+  node::Position sink_;
+  double max_hop_m_;
+  std::vector<node::Position> positions_;
+  std::vector<double> to_sink_;
+  std::vector<std::size_t> next_;
+  std::vector<double> hop_distance_;
+};
+
+}  // namespace wsn::netsim

@@ -29,6 +29,14 @@ TEST(PaperPdtGrid, NudgesZeroEndpoint) {
   EXPECT_DOUBLE_EQ(g.back(), 1.0);
 }
 
+TEST(PaperPdtGrid, RejectsDegenerateRequests) {
+  EXPECT_THROW(PaperPdtGrid(0), util::InvalidArgument);
+  EXPECT_THROW(PaperPdtGrid(1), util::InvalidArgument);
+  EXPECT_THROW(PaperPdtGrid(11, 0.0), util::InvalidArgument);
+  EXPECT_THROW(PaperPdtGrid(11, 1.0), util::InvalidArgument);
+  EXPECT_EQ(PaperPdtGrid(2).size(), 2u);
+}
+
 TEST(Sweep, MarkovSeriesHasExpectedShape) {
   const MarkovCpuModel markov;
   CpuParams base;

@@ -103,6 +103,51 @@ TEST(Network, MultiHopChainRoutesTowardSink) {
   EXPECT_EQ(net.NextHop(2), 1u);
 }
 
+TEST(Network, SingleNodeAtTheSinkRoutesDirect) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.sink = {10.0, 10.0};
+  cfg.max_hop_m = 60.0;
+  // One node exactly on the sink: zero distance, trivially in range.
+  const Network net(cfg, {{10.0, 10.0}});
+  EXPECT_EQ(net.NextHop(0), 0u);
+}
+
+TEST(Network, UnreachableNodeFallsBackToOwnIndex) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.sink = {0.0, 0.0};
+  cfg.max_hop_m = 60.0;
+  // Node 1 is beyond hop range of both the sink and node 0: the greedy
+  // dead end maps to its own index (documented "direct to sink" long
+  // shot), which Evaluate then prices at the full sink distance.
+  const Network net(cfg, {{50.0, 0.0}, {500.0, 0.0}});
+  EXPECT_EQ(net.NextHop(1), 1u);
+  const core::MarkovCpuModel cpu_model;
+  const NetworkReport report = net.Evaluate(cpu_model);
+  EXPECT_NEAR(report.nodes[0].relay_packets_per_second, 0.0, 1e-12);
+  // The stranded node burns far more TX power than the connected one.
+  EXPECT_GT(report.nodes[1].average_power_mw,
+            report.nodes[0].average_power_mw);
+}
+
+TEST(Network, EquidistantNeighboursTieBreakToLowestIndex) {
+  NetworkConfig cfg;
+  cfg.node = BaseConfig();
+  cfg.sink = {0.0, 0.0};
+  cfg.max_hop_m = 60.0;
+  // Node 0 at (100, 0) sees two relays mirrored about the x-axis, both
+  // 58.3 m away and both 58.3 m from the sink: the strict < in the scan
+  // keeps the first (lowest-index) candidate.
+  const Network net(cfg, {{100.0, 0.0}, {50.0, 30.0}, {50.0, -30.0}});
+  EXPECT_EQ(net.NextHop(0), 1u);
+
+  // Same geometry with the candidates' indices swapped: still the
+  // lowest index, proving the choice is order-stable, not positional.
+  const Network swapped(cfg, {{100.0, 0.0}, {50.0, -30.0}, {50.0, 30.0}});
+  EXPECT_EQ(swapped.NextHop(0), 1u);
+}
+
 TEST(Network, RelayLoadAccumulatesOnHotPath) {
   NetworkConfig cfg;
   cfg.node = BaseConfig();
