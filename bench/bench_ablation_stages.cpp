@@ -1,71 +1,8 @@
-// Ablation (DESIGN.md abl1): how well does the method of stages handle
-// the paper's deterministic delays?  Sweeps the Erlang stage count k for
-// the stages CTMC and the Petri-net stage-expansion solver, against the
-// supplementary-variable closed form and the DES ground truth.
-//
-// k = 1 is the naive "constant delay ~ exponential" model.  The paper's
-// conclusion ("if an effective method of modeling constant delays in
-// Markov chains can be derived, the Markov model may become the method of
-// choice") is exactly what this ablation quantifies.
-//
-// Flags: --pdt T --pud D --sim-time S --replications R
-#include <cmath>
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "util/table.hpp"
+// Thin artifact shim: Erlang-k stage-expansion ablation (DESIGN.md abl1).
+// Equivalent to `wsnctl run ablation-stages`; see
+// src/scenario/scenarios_ablation.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-  core::EvalConfig cfg = bench::ConfigFromArgs(args);
-  cfg.sim_time = args.GetDouble("sim-time", 4000.0);
-
-  core::CpuParams params = bench::PaperParams();
-  params.power_down_threshold = args.GetDouble("pdt", 0.3);
-  params.power_up_delay = args.GetDouble("pud", 0.3);
-
-  std::cout << "=== Ablation: Erlang-k stage expansion of deterministic "
-               "delays (PDT = " << params.power_down_threshold
-            << " s, PUD = " << params.power_up_delay << " s) ===\n\n";
-
-  const core::SimulationCpuModel sim(cfg);
-  const auto truth = sim.Evaluate(params);
-  auto max_err = [&truth](const core::ModelEvaluation& e) {
-    return 100.0 *
-           std::max({std::abs(e.shares.standby - truth.shares.standby),
-                     std::abs(e.shares.powerup - truth.shares.powerup),
-                     std::abs(e.shares.idle - truth.shares.idle),
-                     std::abs(e.shares.active - truth.shares.active)});
-  };
-
-  const core::MarkovCpuModel supplementary;
-  const core::DspnExactCpuModel dspn_exact;
-  std::cout << "DES ground truth shares: standby=" << truth.shares.standby
-            << " powerup=" << truth.shares.powerup
-            << " idle=" << truth.shares.idle
-            << " active=" << truth.shares.active
-            << " (95% CI half-width " << truth.share_ci_halfwidth << ")\n";
-  std::cout << "Supplementary-variable closed form max |err|: "
-            << util::FormatFixed(max_err(supplementary.Evaluate(params)), 3)
-            << " pct points\n";
-  std::cout << "Exact DSPN solver (embedded chain)  max |err|: "
-            << util::FormatFixed(max_err(dspn_exact.Evaluate(params)), 3)
-            << " pct points (should sit inside the simulation CI)\n\n";
-
-  util::TextTable out({"k (stages)", "stages-CTMC max|err| (pp)",
-                       "PN-solver max|err| (pp)", "PN states"});
-  for (std::size_t k : {1u, 2u, 5u, 10u, 20u, 50u}) {
-    const core::StagesMarkovCpuModel stages(k);
-    const core::PetriSolverCpuModel pn_solver(k);
-    const auto se = stages.Evaluate(params);
-    const auto pe = pn_solver.Evaluate(params);
-    out.AddRow({std::to_string(k), util::FormatFixed(max_err(se), 3),
-                util::FormatFixed(max_err(pe), 3),
-                std::to_string(k)});
-  }
-  std::cout << out.Render() << "\n";
-  std::cout << "Expected: error decreases toward the simulation CI as k "
-               "grows; k = 1 (naive exponential) is the worst.\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("ablation-stages", argc, argv);
 }

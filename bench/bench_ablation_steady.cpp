@@ -1,74 +1,8 @@
-// Ablation (DESIGN.md abl2): Petri-net steady-state estimation quality vs
-// simulation effort — the paper notes "the drawback to Petri nets is
-// their long simulation time ... before the percentages stabilize".
-// Quantifies CI width and bias against the high-accuracy solver reference
-// as functions of horizon, warm-up fraction and replication count.
-//
-// Flags: --pdt T --pud D
-#include <cmath>
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "core/cpu_petri_net.hpp"
-#include "petri/simulation.hpp"
-#include "util/statistics.hpp"
-#include "util/table.hpp"
+// Thin artifact shim: PN estimation-vs-effort ablation (DESIGN.md abl2).
+// Equivalent to `wsnctl run ablation-steady`; see
+// src/scenario/scenarios_ablation.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-  core::CpuParams params = bench::PaperParams();
-  params.power_down_threshold = args.GetDouble("pdt", 0.3);
-  params.power_up_delay = args.GetDouble("pud", 0.3);
-
-  std::cout << "=== Ablation: PN steady-state estimation vs effort (PDT = "
-            << params.power_down_threshold
-            << " s, PUD = " << params.power_up_delay << " s) ===\n\n";
-
-  // High-fidelity reference: stage-expansion solver with many stages.
-  const core::PetriSolverCpuModel reference(60);
-  const double ref_idle = reference.Evaluate(params).shares.idle;
-  std::cout << "Reference idle share (k=60 numerical solver): "
-            << util::FormatFixed(ref_idle, 5) << "\n\n";
-
-  core::CpuNetLayout layout;
-  const petri::PetriNet net = core::BuildCpuPetriNet(params, &layout);
-
-  util::TextTable out({"horizon(s)", "warmup", "reps", "idle-share mean",
-                       "95% CI halfwidth", "|bias| (pp)"});
-  const struct {
-    double horizon;
-    double warmup_frac;
-    std::size_t reps;
-  } cases[] = {
-      {200.0, 0.0, 8},   {1000.0, 0.0, 8},   {1000.0, 0.1, 8},
-      {1000.0, 0.0, 32}, {5000.0, 0.1, 8},   {5000.0, 0.1, 32},
-      {20000.0, 0.1, 16},
-  };
-  for (const auto& c : cases) {
-    petri::SimulationConfig cfg;
-    cfg.horizon = c.horizon;
-    cfg.warmup = c.horizon * c.warmup_frac;
-    cfg.seed = 77;
-    const petri::EnsembleResult agg =
-        petri::SimulateSpnEnsemble(net, cfg, c.reps);
-    // idle = E[#CPU_ON] - E[#Active]; combine replication means.
-    util::RunningStats idle;
-    // Re-run per replication pairing is already aggregated; approximate
-    // idle spread by the CPU_ON spread (Active is nearly constant).
-    const double mean = agg.mean_tokens[layout.cpu_on].Mean() -
-                        agg.mean_tokens[layout.active].Mean();
-    const double hw =
-        util::IntervalFromStats(agg.mean_tokens[layout.cpu_on]).half_width;
-    out.AddRow({util::FormatFixed(c.horizon, 0),
-                util::FormatFixed(c.warmup_frac, 2), std::to_string(c.reps),
-                util::FormatFixed(mean, 5), util::FormatFixed(hw, 5),
-                util::FormatFixed(std::abs(mean - ref_idle) * 100.0, 3)});
-  }
-  std::cout << out.Render() << "\n";
-  std::cout << "Expected: CI half-width shrinks ~1/sqrt(horizon x reps); "
-               "bias falls within the CI once the horizon passes ~1000 s, "
-               "matching the paper's note that PN estimates need long runs "
-               "to stabilize.\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("ablation-steady", argc, argv);
 }

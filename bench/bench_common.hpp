@@ -1,41 +1,33 @@
 // Shared configuration for the paper-artifact benchmark binaries.
+//
+// Since the scenario-engine refactor the canonical implementations live
+// in src/scenario/common.{hpp,cpp}; this header forwards to them so any
+// remaining bench-only code (e.g. bench_engine microbenchmarks) keeps
+// compiling.  The historical footguns are gone: replications < 1 and
+// negative --seed/--points are rejected before any unsigned cast.
 #pragma once
 
-#include "core/experiment.hpp"
-#include "core/models.hpp"
-#include "core/params.hpp"
-#include "energy/power_state.hpp"
+#include "scenario/common.hpp"
 #include "util/cli.hpp"
 
 namespace wsn::bench {
 
-/// Paper Table 2: 1000 s horizon, lambda = 1/s, mean service 0.1 s
-/// (see DESIGN.md section 5 for the Table 2 reading).
-inline core::CpuParams PaperParams() {
-  core::CpuParams p;
-  p.arrival_rate = 1.0;
-  p.service_rate = 10.0;
-  p.power_down_threshold = 0.1;
-  p.power_up_delay = 0.001;
-  return p;
-}
+/// Paper Table 2 parameters (see DESIGN.md section 5).
+inline core::CpuParams PaperParams() { return scenario::PaperParams(); }
 
 /// Simulation effort knobs, overridable from the command line:
-///   --sim-time, --replications, --seed, --points (sweep resolution).
+///   --sim-time, --replications, --seed (all validated).
 inline core::EvalConfig ConfigFromArgs(const util::CliArgs& args) {
-  core::EvalConfig cfg;
-  cfg.sim_time = args.GetDouble("sim-time", 1000.0);
-  cfg.replications =
-      static_cast<std::size_t>(args.GetInt("replications", 24));
-  cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2008));
-  return cfg;
+  return scenario::EvalConfigFromArgs(args);
 }
 
+/// Sweep resolution (--points), validated >= 2.
 inline std::size_t SweepPoints(const util::CliArgs& args) {
-  return static_cast<std::size_t>(args.GetInt("points", 11));
+  return scenario::SweepPointsFromArgs(args);
 }
 
 /// The paper evaluates energy over the 1000 s simulated horizon.
-inline constexpr double kEnergyHorizonSeconds = 1000.0;
+inline constexpr double kEnergyHorizonSeconds =
+    scenario::kEnergyHorizonSeconds;
 
 }  // namespace wsn::bench

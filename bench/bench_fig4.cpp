@@ -1,69 +1,7 @@
-// Regenerates paper Figure 4: steady-state percentage of time in each CPU
-// power state vs the Power Down Threshold, for Power Up Delay = 0.001 s,
-// under all three models (simulation / Markov / Petri net).
-//
-// Flags: --sim-time S --replications R --seed N --points K --pud D --net
-#include <cstdio>
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "core/cpu_petri_net.hpp"
-#include "petri/dot.hpp"
-#include "util/table.hpp"
+// Thin artifact shim: paper Figure 4 via the scenario engine.
+// Equivalent to `wsnctl run fig4`; see src/scenario/scenarios_paper.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-  const core::EvalConfig cfg = bench::ConfigFromArgs(args);
-  core::CpuParams base = bench::PaperParams();
-  base.power_up_delay = args.GetDouble("pud", 0.001);
-
-  std::cout << "=== Figure 4: state shares vs Power Down Threshold "
-            << "(PUD = " << base.power_up_delay << " s) ===\n";
-  std::cout << "lambda = " << base.arrival_rate
-            << "/s, mean service = " << base.MeanServiceTime()
-            << " s, sim time = " << cfg.sim_time << " s x "
-            << cfg.replications << " replications\n\n";
-
-  if (args.GetBool("net")) {
-    // Print the Table 1 net (structure audit / DOT export).
-    const petri::PetriNet net = core::BuildCpuPetriNet(base);
-    std::cout << petri::ToDot(net, "cpu_edspn") << "\n";
-  }
-
-  const core::SimulationCpuModel sim(cfg);
-  const core::MarkovCpuModel markov;
-  const core::PetriNetCpuModel pn(cfg);
-  const auto grid = core::PaperPdtGrid(bench::SweepPoints(args));
-
-  const auto table = energy::Pxa271();
-  const auto s_sim = core::SweepPowerDownThreshold(
-      sim, base, grid, table, bench::kEnergyHorizonSeconds);
-  const auto s_markov = core::SweepPowerDownThreshold(
-      markov, base, grid, table, bench::kEnergyHorizonSeconds);
-  const auto s_pn = core::SweepPowerDownThreshold(
-      pn, base, grid, table, bench::kEnergyHorizonSeconds);
-
-  util::TextTable out(
-      {"PDT(s)", "sim:idle%", "sim:standby%", "sim:powerup%", "sim:active%",
-       "mkv:idle%", "mkv:standby%", "mkv:powerup%", "mkv:active%",
-       "pn:idle%", "pn:standby%", "pn:powerup%", "pn:active%"});
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const auto& a = s_sim.points[i].eval.shares;
-    const auto& b = s_markov.points[i].eval.shares;
-    const auto& c = s_pn.points[i].eval.shares;
-    out.AddNumericRow(std::vector<double>{grid[i], a.idle * 100.0,
-                                   a.standby * 100.0, a.powerup * 100.0,
-                                   a.active * 100.0, b.idle * 100.0,
-                                   b.standby * 100.0, b.powerup * 100.0,
-                                   b.active * 100.0, c.idle * 100.0,
-                                   c.standby * 100.0, c.powerup * 100.0,
-                                   c.active * 100.0},
-               2);
-  }
-  std::cout << out.Render() << "\n";
-  std::cout << "Expected shape (paper Fig. 4): Idle rises and Standby falls "
-               "with PDT; Active stays ~" << base.Rho() * 100.0
-            << "%; PowerUp stays near zero at PUD = 0.001 s.\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("fig4", argc, argv);
 }

@@ -1,47 +1,7 @@
-// Regenerates paper Figure 5: total energy (joules, Eq. 25, PXA271 power
-// table) vs Power Down Threshold at Power Up Delay = 0.001 s for the
-// three models.
-//
-// Flags: --sim-time S --replications R --seed N --points K --pud D
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "util/table.hpp"
+// Thin artifact shim: paper Figure 5 via the scenario engine.
+// Equivalent to `wsnctl run fig5`; see src/scenario/scenarios_paper.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-  const core::EvalConfig cfg = bench::ConfigFromArgs(args);
-  core::CpuParams base = bench::PaperParams();
-  base.power_up_delay = args.GetDouble("pud", 0.001);
-
-  std::cout << "=== Figure 5: energy (J) vs Power Down Threshold "
-            << "(PUD = " << base.power_up_delay << " s, PXA271, "
-            << bench::kEnergyHorizonSeconds << " s horizon) ===\n\n";
-
-  const core::SimulationCpuModel sim(cfg);
-  const core::MarkovCpuModel markov;
-  const core::PetriNetCpuModel pn(cfg);
-  const auto grid = core::PaperPdtGrid(bench::SweepPoints(args));
-  const auto table = energy::Pxa271();
-
-  const auto s_sim = core::SweepPowerDownThreshold(
-      sim, base, grid, table, bench::kEnergyHorizonSeconds);
-  const auto s_markov = core::SweepPowerDownThreshold(
-      markov, base, grid, table, bench::kEnergyHorizonSeconds);
-  const auto s_pn = core::SweepPowerDownThreshold(
-      pn, base, grid, table, bench::kEnergyHorizonSeconds);
-
-  util::TextTable out({"PDT(s)", "Simulation(J)", "Markov(J)", "PetriNet(J)"});
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    out.AddNumericRow(std::vector<double>{grid[i], s_sim.points[i].energy_joules,
-                                   s_markov.points[i].energy_joules,
-                                   s_pn.points[i].energy_joules},
-               3);
-  }
-  std::cout << out.Render() << "\n";
-  std::cout << "Expected shape (paper Fig. 5): energy increases with PDT "
-               "(more time in 88 mW Idle instead of 17 mW Standby), all "
-               "three curves nearly coincident at small PUD.\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("fig5", argc, argv);
 }

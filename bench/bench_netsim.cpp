@@ -1,98 +1,8 @@
-// Replication-throughput benchmark for the packet-level network
-// simulator: replications/second single-threaded vs fanned out across a
-// util::ThreadPool, on a 100-node grid topology.  Parallel efficiency
-// should be near-linear because replications share nothing but the
-// (read-only) config — each owns its DES kernel and jump-separated RNG
-// stream.
-//
-// Flags: --cols C --rows R --spacing M --rate PKT_S --horizon S
-//        --replications N --seed N --threads T (parallel run; default 8)
-#include <chrono>
-#include <iostream>
-#include <thread>
-
-#include "core/models.hpp"
-#include "netsim/replication.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "wsn/network.hpp"
-
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
+// Thin artifact shim: netsim replication throughput via the scenario
+// engine.  Equivalent to `wsnctl run netsim-throughput --threads=8`; see
+// src/scenario/scenarios_netsim.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-
-  const std::size_t cols = static_cast<std::size_t>(args.GetInt("cols", 10));
-  const std::size_t rows = static_cast<std::size_t>(args.GetInt("rows", 10));
-  const std::size_t threads =
-      static_cast<std::size_t>(args.GetInt("threads", 8));
-
-  netsim::NetSimConfig cfg;
-  cfg.network.node.cpu.arrival_rate = args.GetDouble("rate", 2.0);
-  cfg.network.node.cpu.service_rate = 10.0 * cfg.network.node.cpu.arrival_rate;
-  cfg.network.node.cpu_power = energy::Pxa271();
-  cfg.network.node.sample_bits = 1024;
-  cfg.network.node.listen_duty_cycle = 0.01;
-  cfg.network.sink = {0.0, 0.0};
-  cfg.network.max_hop_m = args.GetDouble("hop", 40.0);
-  cfg.positions = node::MakeGrid(cols, rows, args.GetDouble("spacing", 25.0));
-  cfg.horizon_s = args.GetDouble("horizon", 30.0);
-
-  netsim::ReplicationConfig rep;
-  rep.replications = static_cast<std::size_t>(args.GetInt("replications", 32));
-  rep.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2008));
-
-  const core::MarkovCpuModel model;
-
-  std::cout << "netsim replication throughput: " << cfg.positions.size()
-            << " nodes, " << cfg.horizon_s << " s horizon, "
-            << rep.replications << " replications ("
-            << std::thread::hardware_concurrency()
-            << " hardware threads available)\n\n";
-
-  // Single-threaded reference.
-  rep.threads = 1;
-  auto start = std::chrono::steady_clock::now();
-  const netsim::ReplicationSummary serial = RunReplications(cfg, model, rep);
-  const double serial_s = SecondsSince(start);
-
-  // ThreadPool fan-out.
-  rep.threads = threads;
-  util::ThreadPool pool(threads);
-  start = std::chrono::steady_clock::now();
-  const netsim::ReplicationSummary parallel =
-      RunReplications(cfg, model, rep, pool);
-  const double parallel_s = SecondsSince(start);
-
-  const double serial_rps = static_cast<double>(rep.replications) / serial_s;
-  const double parallel_rps =
-      static_cast<double>(rep.replications) / parallel_s;
-
-  util::TextTable table({"mode", "threads", "wall (s)", "replications/s",
-                         "speedup"});
-  table.AddRow({"serial", "1", util::FormatFixed(serial_s, 3),
-                util::FormatFixed(serial_rps, 2), "1.00"});
-  table.AddRow({"thread-pool", std::to_string(threads),
-                util::FormatFixed(parallel_s, 3),
-                util::FormatFixed(parallel_rps, 2),
-                util::FormatFixed(parallel_rps / serial_rps, 2)});
-  std::cout << table.Render();
-
-  std::cout << "\nchecks: delivery ratio "
-            << util::FormatInterval(serial.delivery_ratio.ci.mean,
-                                    serial.delivery_ratio.ci.half_width, 4)
-            << " (serial) vs "
-            << util::FormatInterval(parallel.delivery_ratio.ci.mean,
-                                    parallel.delivery_ratio.ci.half_width, 4)
-            << " (parallel) — identical streams, identical results\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("netsim-throughput", argc, argv);
 }

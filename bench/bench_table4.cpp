@@ -1,46 +1,7 @@
-// Regenerates paper Table 4: mean absolute steady-state-percentage
-// difference between model pairs (Sim-Markov, Sim-PN, Markov-PN), for
-// Power Up Delay in {0.001, 0.3, 10} s, averaged over the PDT sweep.
-//
-// Flags: --sim-time S --replications R --seed N --points K
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "util/table.hpp"
+// Thin artifact shim: paper Table 4 via the scenario engine.
+// Equivalent to `wsnctl run table4`; see src/scenario/scenarios_paper.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-  const core::EvalConfig cfg = bench::ConfigFromArgs(args);
-  const core::CpuParams base = bench::PaperParams();
-
-  std::cout << "=== Table 4: |Delta| steady-state percentages (pct points) "
-               "for varying Power Up Delay ===\n\n";
-
-  const core::SimulationCpuModel sim(cfg);
-  const core::MarkovCpuModel markov;
-  const core::PetriNetCpuModel pn(cfg);
-  const auto grid = core::PaperPdtGrid(bench::SweepPoints(args));
-
-  const core::DeltaTables tables = core::ComputeDeltaTables(
-      sim, markov, pn, base, {0.001, 0.3, 10.0}, grid, energy::Pxa271(),
-      bench::kEnergyHorizonSeconds);
-
-  util::TextTable out({"PowerUpDelay(s)", "Avg |Sim-Markov|",
-                       "Avg |Sim-PN|", "Avg |Markov-PN|"});
-  for (const core::DeltaRow& row : tables.share_deltas) {
-    out.AddNumericRow(std::vector<double>{row.power_up_delay, row.sim_markov,
-                                   row.sim_pn, row.markov_pn},
-               3);
-  }
-  std::cout << out.Render() << "\n";
-  std::cout
-      << "Paper Table 4 (for reference, summed over the 4 states the paper\n"
-         "reports larger magnitudes; shape is what must match):\n"
-         "  PUD=0.001: Sim-Markov 0.338, Sim-PN 0.351, Markov-PN 0.076\n"
-         "  PUD=0.3  : Sim-Markov 4.182, Sim-PN 1.677, Markov-PN 3.338\n"
-         "  PUD=10.0 : Sim-Markov 116.8, Sim-PN 16.05, Markov-PN 103.1\n"
-         "Expected shape: Sim-Markov explodes as PUD grows; Sim-PN stays "
-         "small.\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("table4", argc, argv);
 }

@@ -1,44 +1,7 @@
-// Regenerates paper Table 5: mean absolute energy-prediction difference
-// (joules) between model pairs for Power Up Delay in {0.001, 0.3, 10} s.
-//
-// Flags: --sim-time S --replications R --seed N --points K
-#include <iostream>
-
-#include "bench_common.hpp"
-#include "util/table.hpp"
+// Thin artifact shim: paper Table 5 via the scenario engine.
+// Equivalent to `wsnctl run table5`; see src/scenario/scenarios_paper.cpp.
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-  const core::EvalConfig cfg = bench::ConfigFromArgs(args);
-  const core::CpuParams base = bench::PaperParams();
-
-  std::cout << "=== Table 5: |Delta| energy (J) for varying Power Up Delay "
-               "(PXA271, Eq. 25) ===\n\n";
-
-  const core::SimulationCpuModel sim(cfg);
-  const core::MarkovCpuModel markov;
-  const core::PetriNetCpuModel pn(cfg);
-  const auto grid = core::PaperPdtGrid(bench::SweepPoints(args));
-
-  const core::DeltaTables tables = core::ComputeDeltaTables(
-      sim, markov, pn, base, {0.001, 0.3, 10.0}, grid, energy::Pxa271(),
-      bench::kEnergyHorizonSeconds);
-
-  util::TextTable out({"PowerUpDelay(s)", "Avg |Sim-Markov|",
-                       "Avg |Sim-PN|", "Avg |Markov-PN|"});
-  for (const core::DeltaRow& row : tables.energy_deltas) {
-    out.AddNumericRow(std::vector<double>{row.power_up_delay, row.sim_markov,
-                                   row.sim_pn, row.markov_pn},
-               3);
-  }
-  std::cout << out.Render() << "\n";
-  std::cout
-      << "Paper Table 5 (reference):\n"
-         "  PUD=0.001: Sim-Markov 0.154, Sim-PN 0.166, Markov-PN 0.037\n"
-         "  PUD=0.3  : Sim-Markov 1.558, Sim-PN 0.298, Markov-PN 1.401\n"
-         "  PUD=10.0 : Sim-Markov 24.87, Sim-PN 1.285, Markov-PN 25.41\n"
-         "Expected shape: the Markov energy error grows with PUD while the "
-         "Petri net tracks the simulation.\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("table5", argc, argv);
 }

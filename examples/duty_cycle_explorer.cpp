@@ -1,76 +1,10 @@
-// Power-management design exploration: for a given workload, sweep the
-// Power Down Threshold and report the energy/latency trade-off — the
-// design question the paper's models exist to answer.  Uses the fast
-// closed-form Markov model for the sweep and cross-checks the chosen
-// operating point against the Petri net.
+// Thin shim: power-management design exploration via the scenario engine.
+// Equivalent to `wsnctl run duty-cycle`; see
+// src/scenario/scenarios_explore.cpp.
 //
 //   ./duty_cycle_explorer [--lambda 0.2] [--pud 0.05] [--points 13]
-#include <iostream>
-
-#include "core/models.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-
-  core::CpuParams params;
-  params.arrival_rate = args.GetDouble("lambda", 0.2);
-  params.service_rate = 10.0;
-  params.power_up_delay = args.GetDouble("pud", 0.05);
-
-  const auto pxa = energy::Pxa271();
-  const core::MarkovCpuModel markov;
-  const std::size_t points =
-      static_cast<std::size_t>(args.GetInt("points", 13));
-
-  std::cout << "Duty-cycle exploration: lambda = " << params.arrival_rate
-            << "/s, PUD = " << params.power_up_delay << " s\n"
-            << "Trade-off: small PDT saves energy but adds wake-up latency; "
-               "large PDT burns idle power.\n\n";
-
-  util::TextTable out({"PDT(s)", "energy(J/1000s)", "mean latency(s)",
-                       "standby%", "idle%"});
-  double best_pdt = 0.0;
-  double best_cost = 1e300;
-  for (std::size_t i = 0; i < points; ++i) {
-    const double pdt =
-        3.0 * static_cast<double>(i) / static_cast<double>(points - 1);
-    core::CpuParams p = params;
-    p.power_down_threshold = pdt;
-    const auto eval = markov.Evaluate(p);
-    const double energy = core::EnergyJoules(eval, pxa, 1000.0);
-    out.AddNumericRow(std::vector<double>{pdt, energy, eval.mean_latency,
-                                   eval.shares.standby * 100.0,
-                                   eval.shares.idle * 100.0},
-               3);
-    // Simple scalarized objective: energy plus a latency penalty.
-    const double cost = energy + 200.0 * eval.mean_latency;
-    if (cost < best_cost) {
-      best_cost = cost;
-      best_pdt = pdt;
-    }
-  }
-  std::cout << out.Render();
-
-  std::cout << "\nChosen operating point (min energy + 200 J/s x latency): "
-            << "PDT = " << util::FormatFixed(best_pdt, 3) << " s\n";
-
-  // Cross-check the chosen point with the Petri net (the paper's point:
-  // trust the PN when deterministic delays matter).
-  core::EvalConfig cfg;
-  cfg.sim_time = 2000.0;
-  cfg.replications = 12;
-  const core::PetriNetCpuModel pn(cfg);
-  core::CpuParams chosen = params;
-  chosen.power_down_threshold = best_pdt;
-  const auto via_markov = markov.Evaluate(chosen);
-  const auto via_pn = pn.Evaluate(chosen);
-  std::cout << "Cross-check at chosen point:  markov energy = "
-            << util::FormatFixed(core::EnergyJoules(via_markov, pxa, 1000.0), 2)
-            << " J,  petri-net energy = "
-            << util::FormatFixed(core::EnergyJoules(via_pn, pxa, 1000.0), 2)
-            << " J\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("duty-cycle", argc, argv);
 }

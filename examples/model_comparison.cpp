@@ -1,67 +1,10 @@
-// Model comparison across the paper's full parameter plane: sweeps the
-// Power Down Threshold for a chosen Power Up Delay, printing the three
-// models side by side plus the extended solvers (stages CTMC, PN
-// numerical solver) that this library adds beyond the paper.
+// Thin shim: six-method model comparison via the scenario engine.
+// Equivalent to `wsnctl run model-comparison`; see
+// src/scenario/scenarios_explore.cpp.
 //
 //   ./model_comparison [--pud 0.3] [--points 6] [--sim-time 2000]
-#include <iostream>
-
-#include "core/experiment.hpp"
-#include "core/models.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-
-  core::CpuParams base;
-  base.power_up_delay = args.GetDouble("pud", 0.3);
-
-  core::EvalConfig cfg;
-  cfg.sim_time = args.GetDouble("sim-time", 2000.0);
-  cfg.replications = static_cast<std::size_t>(args.GetInt("replications", 16));
-
-  const auto grid =
-      core::PaperPdtGrid(static_cast<std::size_t>(args.GetInt("points", 6)));
-  const auto pxa = energy::Pxa271();
-
-  const core::SimulationCpuModel sim(cfg);
-  const core::MarkovCpuModel markov;
-  const core::PetriNetCpuModel pn(cfg);
-  const core::StagesMarkovCpuModel stages(20);
-  const core::PetriSolverCpuModel solver(20);
-  const core::DspnExactCpuModel exact;
-
-  std::cout << "Idle-share comparison at PUD = " << base.power_up_delay
-            << " s (six evaluation methods)\n\n";
-  util::TextTable out({"PDT(s)", "DES sim", "supp.var Markov",
-                       "PN token game", "stages CTMC k=20",
-                       "PN solver k=20", "DSPN exact"});
-  for (double pdt : grid) {
-    core::CpuParams p = base;
-    p.power_down_threshold = pdt;
-    out.AddNumericRow(std::vector<double>{pdt, sim.Evaluate(p).shares.idle,
-                                   markov.Evaluate(p).shares.idle,
-                                   pn.Evaluate(p).shares.idle,
-                                   stages.Evaluate(p).shares.idle,
-                                   solver.Evaluate(p).shares.idle,
-                                   exact.Evaluate(p).shares.idle},
-               4);
-  }
-  std::cout << out.Render();
-
-  std::cout << "\nEnergy (J / 1000 s) at PDT = 0.5 s:\n";
-  core::CpuParams p = base;
-  p.power_down_threshold = 0.5;
-  util::TextTable etab({"model", "energy(J)"});
-  const core::CpuEnergyModel* models[] = {&sim, &markov, &pn, &stages,
-                                          &solver, &exact};
-  for (const auto* model : models) {
-    etab.AddRow({model->Name(),
-                 util::FormatFixed(
-                     core::EnergyJoules(model->Evaluate(p), pxa, 1000.0), 3)});
-  }
-  std::cout << etab.Render();
-  return 0;
+  return wsn::scenario::RunScenarioMain("model-comparison", argc, argv);
 }

@@ -1,130 +1,12 @@
-// End-to-end tour of the packet-level network simulator: a 50-node grid
-// reporting to a corner sink under bursty (MMPP quiet/storm) traffic,
-// with small batteries so the run exhibits the full arc — node deaths,
-// re-routing around dead relays, and finally partition.
+// Thin shim: packet-level network lifetime study via the scenario engine.
+// Equivalent to `wsnctl run netsim-lifetime`; see
+// src/scenario/scenarios_netsim.cpp.
 //
 //   ./netsim_demo [--cols 10] [--rows 5] [--spacing 15] [--hop 40]
 //                 [--replications 8] [--seed 2008] [--horizon 4000]
 //                 [--battery-mah 0.05] [--steady]
-#include <cmath>
-#include <iostream>
-
-#include "core/models.hpp"
-#include "des/bursty_workload.hpp"
-#include "netsim/replication.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "wsn/network.hpp"
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-
-  netsim::NetSimConfig cfg;
-  cfg.network.node.cpu.arrival_rate = args.GetDouble("rate", 2.0);
-  cfg.network.node.cpu.service_rate = 10.0 * cfg.network.node.cpu.arrival_rate;
-  cfg.network.node.cpu_power = energy::Msp430();
-  cfg.network.node.sample_bits = 1024;
-  cfg.network.node.listen_duty_cycle = 0.01;
-  cfg.network.node.battery_mah = args.GetDouble("battery-mah", 0.05);
-  cfg.network.sink = {0.0, 0.0};
-  cfg.network.max_hop_m = args.GetDouble("hop", 40.0);
-  cfg.positions =
-      node::MakeGrid(static_cast<std::size_t>(args.GetInt("cols", 10)),
-                     static_cast<std::size_t>(args.GetInt("rows", 5)),
-                     args.GetDouble("spacing", 15.0));
-  cfg.horizon_s = args.GetDouble("horizon", 4000.0);
-  cfg.stop_at_partition = true;  // measure the connected phase
-  cfg.timeline_interval_s = cfg.horizon_s / 20.0;
-
-  if (!args.GetBool("steady")) {
-    // Event-storm traffic: mostly quiet at 20% of the nominal rate, with
-    // occasional bursts at 10x (long-run mean close to the nominal rate).
-    const double rate = cfg.network.node.cpu.arrival_rate;
-    cfg.traffic_factory = [rate](std::size_t) {
-      return std::make_unique<des::MmppWorkload>(
-          std::vector<double>{0.2 * rate, 10.0 * rate},
-          std::vector<std::vector<double>>{{-0.02, 0.02}, {0.2, -0.2}});
-    };
-  }
-
-  netsim::ReplicationConfig rep;
-  rep.replications =
-      static_cast<std::size_t>(args.GetInt("replications", 8));
-  rep.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2008));
-  rep.keep_reports = true;
-
-  const core::MarkovCpuModel model;
-  const netsim::ReplicationSummary summary =
-      RunReplications(cfg, model, rep);
-
-  std::cout << "netsim demo: " << cfg.positions.size() << " nodes, "
-            << (args.GetBool("steady") ? "steady Poisson" : "bursty MMPP")
-            << " traffic, " << rep.replications << " replications, horizon "
-            << cfg.horizon_s << " s\n\n";
-
-  util::TextTable lifetimes({"metric", "mean +- 95% CI", "observed in"});
-  lifetimes.AddRow(
-      {"time to first death (s)",
-       util::FormatInterval(summary.first_death_s.ci.mean,
-                            summary.first_death_s.ci.half_width, 1),
-       std::to_string(summary.first_death_s.observed) + "/" +
-           std::to_string(summary.replications) + " reps"});
-  lifetimes.AddRow(
-      {"time to partition (s)",
-       util::FormatInterval(summary.partition_s.ci.mean,
-                            summary.partition_s.ci.half_width, 1),
-       std::to_string(summary.partition_s.observed) + "/" +
-           std::to_string(summary.replications) + " reps"});
-  lifetimes.AddRow(
-      {"delivery ratio",
-       util::FormatInterval(summary.delivery_ratio.ci.mean,
-                            summary.delivery_ratio.ci.half_width, 4),
-       std::to_string(summary.replications) + "/" +
-           std::to_string(summary.replications) + " reps"});
-  lifetimes.AddRow(
-      {"packets delivered",
-       util::FormatInterval(summary.delivered.ci.mean,
-                            summary.delivered.ci.half_width, 1),
-       std::to_string(summary.replications) + "/" +
-           std::to_string(summary.replications) + " reps"});
-  std::cout << lifetimes.Render() << "\n";
-
-  // Zoom into replication 0: the hot path near the sink dies first.
-  const netsim::NetSimReport& rep0 = summary.reports.front();
-  util::TextTable nodes({"node", "pos", "generated", "forwarded", "dropped",
-                         "energy (J)", "death (s)"});
-  std::size_t shown = 0;
-  for (std::size_t i = 0; i < rep0.nodes.size() && shown < 10; ++i) {
-    const netsim::NodeSimStats& n = rep0.nodes[i];
-    if (n.alive && shown >= 5) continue;  // highlight the casualties
-    ++shown;
-    nodes.AddRow({std::to_string(i),
-                  "(" + util::FormatFixed(cfg.positions[i].x, 0) + "," +
-                      util::FormatFixed(cfg.positions[i].y, 0) + ")",
-                  std::to_string(n.generated), std::to_string(n.forwarded),
-                  std::to_string(n.dropped),
-                  util::FormatFixed(n.energy_used_j, 3),
-                  std::isfinite(n.death_s) ? util::FormatFixed(n.death_s, 1)
-                                           : std::string("alive")});
-  }
-  std::cout << "replication 0, first " << shown << " nodes (dead first):\n"
-            << nodes.Render() << "\n";
-
-  util::TextTable drops({"drop reason", "packets (rep 0)"});
-  for (std::size_t r = 0; r < netsim::kDropReasonCount; ++r) {
-    const auto reason = static_cast<netsim::DropReason>(r);
-    drops.AddRow({netsim::DropReasonName(reason),
-                  std::to_string(rep0.packets.Dropped(reason))});
-  }
-  std::cout << drops.Render();
-  std::cout << "\nreplication 0: generated " << rep0.packets.generated
-            << ", delivered " << rep0.packets.delivered << ", first death at "
-            << util::FormatFixed(rep0.first_death_s, 1)
-            << " s (node " << rep0.first_dead_node << "), partition at "
-            << (std::isfinite(rep0.partition_s)
-                    ? util::FormatFixed(rep0.partition_s, 1) + " s"
-                    : std::string("never"))
-            << ", " << rep0.events << " events\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("netsim-lifetime", argc, argv);
 }

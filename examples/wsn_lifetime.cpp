@@ -1,65 +1,11 @@
-// WSN application (the paper's motivating scenario): estimate sensor-node
-// and network lifetime with the CPU energy predicted by the paper's
-// Markov model, for a grid deployment reporting to a corner sink.
+// Thin shim: static WSN lifetime estimation via the scenario engine.
+// Equivalent to `wsnctl run wsn-lifetime`; see
+// src/scenario/scenarios_explore.cpp.
 //
 //   ./wsn_lifetime [--cols 4] [--rows 4] [--spacing 30] [--rate 0.5]
 //                  [--cpu pxa271|msp430|atmega]
-#include <iostream>
-
-#include "core/models.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "wsn/network.hpp"
+#include "scenario/run_main.hpp"
 
 int main(int argc, char** argv) {
-  using namespace wsn;
-  const util::CliArgs args(argc, argv);
-
-  node::NetworkConfig cfg;
-  cfg.node.cpu.arrival_rate = args.GetDouble("rate", 0.5);  // samples/s
-  cfg.node.cpu.service_rate = 10.0;
-  cfg.node.cpu.power_down_threshold = 0.1;
-  cfg.node.cpu.power_up_delay = 0.001;
-  const std::string cpu = args.GetString("cpu", "pxa271");
-  cfg.node.cpu_power = cpu == "msp430" ? energy::Msp430()
-                       : cpu == "atmega" ? energy::Atmega128L()
-                                         : energy::Pxa271();
-  cfg.node.sample_bits = 256;
-  cfg.node.listen_duty_cycle = 0.01;
-  cfg.node.battery_mah = 2500.0;
-  cfg.sink = {0.0, 0.0};
-  cfg.max_hop_m = args.GetDouble("hop", 50.0);
-
-  const auto positions =
-      node::MakeGrid(static_cast<std::size_t>(args.GetInt("cols", 4)),
-                     static_cast<std::size_t>(args.GetInt("rows", 4)),
-                     args.GetDouble("spacing", 30.0));
-  const node::Network network(cfg, positions);
-
-  const core::MarkovCpuModel cpu_model;
-  const node::NetworkReport report = network.Evaluate(cpu_model);
-
-  std::cout << "WSN lifetime estimation: " << positions.size()
-            << " nodes, CPU " << cfg.node.cpu_power.name << ", "
-            << cfg.node.cpu.arrival_rate << " samples/s\n\n";
-
-  util::TextTable out({"node", "pos", "next-hop", "relay pkts/s",
-                       "avg power (mW)", "lifetime (days)"});
-  for (const node::NodeReport& n : report.nodes) {
-    out.AddRow(
-        {std::to_string(n.index),
-         "(" + util::FormatFixed(positions[n.index].x, 0) + "," +
-             util::FormatFixed(positions[n.index].y, 0) + ")",
-         n.next_hop == n.index ? std::string("sink")
-                               : std::to_string(n.next_hop),
-         util::FormatFixed(n.relay_packets_per_second, 2),
-         util::FormatFixed(n.average_power_mw, 3),
-         util::FormatFixed(n.lifetime_seconds / 86400.0, 1)});
-  }
-  std::cout << out.Render();
-  std::cout << "\nNetwork lifetime (first node death): "
-            << util::FormatFixed(report.network_lifetime_seconds / 86400.0, 1)
-            << " days (bottleneck: node " << report.bottleneck_node
-            << ", the relay closest to the sink)\n";
-  return 0;
+  return wsn::scenario::RunScenarioMain("wsn-lifetime", argc, argv);
 }

@@ -32,19 +32,29 @@ SweepSeries SweepPowerDownThreshold(const CpuEnergyModel& model,
                                     CpuParams base,
                                     const std::vector<double>& pdt_values,
                                     const energy::PowerStateTable& table,
-                                    double energy_horizon) {
+                                    double energy_horizon,
+                                    util::ParallelExecutor& executor) {
   SweepSeries series;
   series.model_name = model.Name();
-  series.points.reserve(pdt_values.size());
-  for (double pdt : pdt_values) {
+  series.points = executor.Map(pdt_values.size(), [&](std::size_t i) {
     SweepPoint point;
     point.params = base;
-    point.params.power_down_threshold = pdt;
+    point.params.power_down_threshold = pdt_values[i];
     point.eval = model.Evaluate(point.params);
     point.energy_joules = EnergyJoules(point.eval, table, energy_horizon);
-    series.points.push_back(std::move(point));
-  }
+    return point;
+  });
   return series;
+}
+
+SweepSeries SweepPowerDownThreshold(const CpuEnergyModel& model,
+                                    CpuParams base,
+                                    const std::vector<double>& pdt_values,
+                                    const energy::PowerStateTable& table,
+                                    double energy_horizon) {
+  util::ParallelExecutor serial(1);
+  return SweepPowerDownThreshold(model, base, pdt_values, table,
+                                 energy_horizon, serial);
 }
 
 double MeanAbsoluteShareDeltaPct(const SweepSeries& a, const SweepSeries& b) {
@@ -77,17 +87,18 @@ DeltaTables ComputeDeltaTables(
     const CpuEnergyModel& pn, CpuParams base,
     const std::vector<double>& pud_values,
     const std::vector<double>& pdt_values,
-    const energy::PowerStateTable& table, double energy_horizon) {
+    const energy::PowerStateTable& table, double energy_horizon,
+    util::ParallelExecutor& executor) {
   DeltaTables tables;
   for (double pud : pud_values) {
     CpuParams params = base;
     params.power_up_delay = pud;
     const SweepSeries s_sim = SweepPowerDownThreshold(
-        sim, params, pdt_values, table, energy_horizon);
+        sim, params, pdt_values, table, energy_horizon, executor);
     const SweepSeries s_markov = SweepPowerDownThreshold(
-        markov, params, pdt_values, table, energy_horizon);
+        markov, params, pdt_values, table, energy_horizon, executor);
     const SweepSeries s_pn = SweepPowerDownThreshold(
-        pn, params, pdt_values, table, energy_horizon);
+        pn, params, pdt_values, table, energy_horizon, executor);
 
     DeltaRow shares;
     shares.power_up_delay = pud;
@@ -104,6 +115,17 @@ DeltaTables ComputeDeltaTables(
     tables.energy_deltas.push_back(energy);
   }
   return tables;
+}
+
+DeltaTables ComputeDeltaTables(
+    const CpuEnergyModel& sim, const CpuEnergyModel& markov,
+    const CpuEnergyModel& pn, CpuParams base,
+    const std::vector<double>& pud_values,
+    const std::vector<double>& pdt_values,
+    const energy::PowerStateTable& table, double energy_horizon) {
+  util::ParallelExecutor serial(1);
+  return ComputeDeltaTables(sim, markov, pn, base, pud_values, pdt_values,
+                            table, energy_horizon, serial);
 }
 
 }  // namespace wsn::core

@@ -15,6 +15,7 @@
 #include "core/model.hpp"
 #include "core/params.hpp"
 #include "energy/power_state.hpp"
+#include "util/executor.hpp"
 
 namespace wsn::core {
 
@@ -42,7 +43,18 @@ std::vector<double> LinearSpace(double lo, double hi, std::size_t count);
 std::vector<double> PaperPdtGrid(std::size_t count = 11, double eps = 1e-9);
 
 /// Run `model` over a PDT sweep at fixed base params, computing energy
-/// over `energy_horizon` seconds via Eq. 25.
+/// over `energy_horizon` seconds via Eq. 25.  Sweep points fan out
+/// across `executor` (point i's result lands at index i, so the series
+/// is bit-identical whatever the thread count); `model.Evaluate` must be
+/// re-entrant, which every model in this library is.
+SweepSeries SweepPowerDownThreshold(const CpuEnergyModel& model,
+                                    CpuParams base,
+                                    const std::vector<double>& pdt_values,
+                                    const energy::PowerStateTable& table,
+                                    double energy_horizon,
+                                    util::ParallelExecutor& executor);
+
+/// Serial convenience overload.
 SweepSeries SweepPowerDownThreshold(const CpuEnergyModel& model,
                                     CpuParams base,
                                     const std::vector<double>& pdt_values,
@@ -73,6 +85,15 @@ struct DeltaTables {
   std::vector<DeltaRow> energy_deltas;  // Table 5 (joules)
 };
 
+DeltaTables ComputeDeltaTables(
+    const CpuEnergyModel& sim, const CpuEnergyModel& markov,
+    const CpuEnergyModel& pn, CpuParams base,
+    const std::vector<double>& pud_values,
+    const std::vector<double>& pdt_values,
+    const energy::PowerStateTable& table, double energy_horizon,
+    util::ParallelExecutor& executor);
+
+/// Serial convenience overload.
 DeltaTables ComputeDeltaTables(
     const CpuEnergyModel& sim, const CpuEnergyModel& markov,
     const CpuEnergyModel& pn, CpuParams base,

@@ -23,7 +23,9 @@ class CpuEnergyModel {
  public:
   virtual ~CpuEnergyModel() = default;
 
-  /// Evaluate the model at `params`.
+  /// Evaluate the model at `params`.  Implementations must be re-entrant
+  /// (no mutable shared state): sweeps fan concurrent Evaluate calls on
+  /// one instance across the ParallelExecutor.
   virtual ModelEvaluation Evaluate(const CpuParams& params) const = 0;
 
   /// Short identifier ("simulation", "markov", "petri-net", ...).

@@ -38,20 +38,13 @@ ReplicationSummary Summarize(std::vector<NetSimReport> reports,
 std::vector<NetSimReport> RunAll(const NetSimConfig& config,
                                  double cpu_power_mw,
                                  const ReplicationConfig& rep,
-                                 util::ThreadPool* pool) {
+                                 util::ParallelExecutor& executor) {
   util::Require(rep.replications > 0, "need at least one replication");
-  const util::Rng master(rep.seed);
-  std::vector<NetSimReport> reports(rep.replications);
-  const auto run_one = [&](std::size_t r) {
-    NetworkSimulator sim(config, cpu_power_mw, master.MakeStream(r));
-    reports[r] = sim.Run();
-  };
-  if (pool == nullptr) {
-    for (std::size_t r = 0; r < rep.replications; ++r) run_one(r);
-  } else {
-    util::ParallelFor(*pool, rep.replications, run_one);
-  }
-  return reports;
+  return executor.MapSeeded(
+      rep.replications, rep.seed, [&](std::size_t, util::Rng stream) {
+        NetworkSimulator sim(config, cpu_power_mw, stream);
+        return sim.Run();
+      });
 }
 
 }  // namespace
@@ -59,22 +52,26 @@ std::vector<NetSimReport> RunAll(const NetSimConfig& config,
 ReplicationSummary RunReplications(const NetSimConfig& config,
                                    const core::CpuEnergyModel& cpu_model,
                                    const ReplicationConfig& rep,
-                                   util::ThreadPool& pool) {
-  // Evaluate the CPU model once, outside the workers: implementations are
-  // not required to be thread-safe and some are expensive.
+                                   util::ParallelExecutor& executor) {
+  // Evaluate the CPU model once, outside the workers: some models are
+  // expensive, and every node/replication shares the same operating point.
   const double cpu_mw = CpuAveragePowerMw(config, cpu_model);
-  return Summarize(RunAll(config, cpu_mw, rep, &pool), rep);
+  return Summarize(RunAll(config, cpu_mw, rep, executor), rep);
+}
+
+ReplicationSummary RunReplications(const NetSimConfig& config,
+                                   const core::CpuEnergyModel& cpu_model,
+                                   const ReplicationConfig& rep,
+                                   util::ThreadPool& pool) {
+  util::ParallelExecutor executor(pool);
+  return RunReplications(config, cpu_model, rep, executor);
 }
 
 ReplicationSummary RunReplications(const NetSimConfig& config,
                                    const core::CpuEnergyModel& cpu_model,
                                    const ReplicationConfig& rep) {
-  const double cpu_mw = CpuAveragePowerMw(config, cpu_model);
-  if (rep.threads == 1) {
-    return Summarize(RunAll(config, cpu_mw, rep, nullptr), rep);
-  }
-  util::ThreadPool pool(rep.threads);
-  return Summarize(RunAll(config, cpu_mw, rep, &pool), rep);
+  util::ParallelExecutor executor(rep.threads);
+  return RunReplications(config, cpu_model, rep, executor);
 }
 
 }  // namespace wsn::netsim

@@ -1,11 +1,12 @@
-// Independent-replication runner for the packet-level network simulator.
+// Independent-replication runner for the packet-level network simulator —
+// a thin client of util::ParallelExecutor.
 //
-// Fans N replications across a util::ThreadPool; replication r draws its
-// randomness from the master seed's r-th jump-separated xoshiro stream,
-// so results are bit-identical for a given (seed, replication) pair no
-// matter how many threads run them or in what order they finish.
-// Aggregation happens serially after the join, in replication order, so
-// the summary itself is deterministic too.
+// Replication r draws its randomness from the master seed's r-th
+// jump-separated xoshiro stream (ParallelExecutor::MapSeeded), so results
+// are bit-identical for a given (seed, replication) pair no matter how
+// many threads run them or in what order they finish.  Aggregation
+// happens serially after the join, in replication order, so the summary
+// itself is deterministic too.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +15,7 @@
 
 #include "core/model.hpp"
 #include "netsim/netsim.hpp"
+#include "util/executor.hpp"
 #include "util/statistics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,6 +44,13 @@ struct ReplicationSummary {
   std::size_t replications = 0;
   std::vector<NetSimReport> reports;  ///< filled when keep_reports
 };
+
+/// Run on an existing executor (reused across calls, e.g. by the
+/// scenario engine and benchmarks).
+ReplicationSummary RunReplications(const NetSimConfig& config,
+                                   const core::CpuEnergyModel& cpu_model,
+                                   const ReplicationConfig& rep,
+                                   util::ParallelExecutor& executor);
 
 /// Run on an existing pool (reused across calls, e.g. by benchmarks).
 ReplicationSummary RunReplications(const NetSimConfig& config,

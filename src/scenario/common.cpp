@@ -1,0 +1,44 @@
+#include "scenario/common.hpp"
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace wsn::scenario {
+
+core::CpuParams PaperParams() {
+  core::CpuParams p;
+  p.arrival_rate = 1.0;
+  p.service_rate = 10.0;
+  p.power_down_threshold = 0.1;
+  p.power_up_delay = 0.001;
+  return p;
+}
+
+core::EvalConfig EvalConfigFromArgs(const util::CliArgs& args) {
+  core::EvalConfig cfg;
+  cfg.sim_time = args.GetDouble("sim-time", 1000.0);
+  util::Require(cfg.sim_time > 0.0, "flag --sim-time must be positive");
+  cfg.replications = args.GetCount("replications", 24, 1);
+  cfg.seed = static_cast<std::uint64_t>(args.GetCount("seed", 2008));
+  cfg.threads = 1;  // parallelism lives in the scenario's executor
+  return cfg;
+}
+
+std::size_t SweepPointsFromArgs(const util::CliArgs& args) {
+  return args.GetCount("points", 11, 2);
+}
+
+std::vector<util::FlagSpec> CommonEvalFlags() {
+  return {
+      {"sim-time", "S", "1000", "simulated horizon per replication (s)"},
+      {"replications", "R", "24", "independent replications (>= 1)"},
+      {"seed", "N", "2008", "master RNG seed (non-negative)"},
+  };
+}
+
+util::FlagSpec PointsFlag() {
+  return {"points", "K", "11", "sweep resolution over the PDT grid (>= 2)"};
+}
+
+}  // namespace wsn::scenario

@@ -1,0 +1,38 @@
+// Shared configuration helpers for the registered scenarios — the single
+// home of the paper's Table 2 parameters and the validated effort knobs
+// that used to be duplicated across nine bench_* mains.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/params.hpp"
+#include "util/cli.hpp"
+
+namespace wsn::scenario {
+
+/// Paper Table 2: 1000 s horizon, lambda = 1/s, mean service 0.1 s
+/// (see DESIGN.md section 5 for the Table 2 reading).
+core::CpuParams PaperParams();
+
+/// The paper evaluates energy over the 1000 s simulated horizon.
+inline constexpr double kEnergyHorizonSeconds = 1000.0;
+
+/// Simulation effort knobs (--sim-time, --replications, --seed), with
+/// the validation the old bench_common lacked: replications >= 1 and a
+/// non-negative seed, rejected before any unsigned cast.  Model-internal
+/// replication threading is pinned to 1: scenario parallelism happens at
+/// the sweep-grid level, through the scenario's ParallelExecutor.
+core::EvalConfig EvalConfigFromArgs(const util::CliArgs& args);
+
+/// Sweep resolution (--points), validated >= 2.
+std::size_t SweepPointsFromArgs(const util::CliArgs& args);
+
+/// FlagSpecs for the knobs above, shared by every sweep scenario.
+std::vector<util::FlagSpec> CommonEvalFlags();
+
+/// FlagSpec for --points.
+util::FlagSpec PointsFlag();
+
+}  // namespace wsn::scenario

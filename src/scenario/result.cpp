@@ -1,0 +1,148 @@
+#include "scenario/result.hpp"
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace wsn::scenario {
+
+using util::Require;
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  Require(cells.size() == headers.size(),
+          "table '" + name + "': row arity does not match header arity");
+  rows.push_back(std::move(cells));
+}
+
+void ResultTable::AddNumericRow(const std::vector<double>& cells,
+                                int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(util::FormatFixed(v, precision));
+  AddRow(std::move(formatted));
+}
+
+OutputFormat ParseOutputFormat(const std::string& s) {
+  if (s == "table" || s == "text") return OutputFormat::kText;
+  if (s == "csv") return OutputFormat::kCsv;
+  if (s == "json") return OutputFormat::kJson;
+  throw util::InvalidArgument("unknown output format '" + s +
+                              "' (expected table, csv or json)");
+}
+
+ResultSet::ResultSet(std::string scenario_name)
+    : scenario_(std::move(scenario_name)) {}
+
+ResultTable& ResultSet::AddTable(std::string name,
+                                 std::vector<std::string> headers) {
+  Require(!headers.empty(), "table needs at least one column");
+  ResultTable table;
+  table.name = std::move(name);
+  table.headers = std::move(headers);
+  tables_.push_back(std::move(table));
+  return tables_.back();
+}
+
+void ResultSet::AddNote(std::string note) { notes_.push_back(std::move(note)); }
+
+void ResultSet::SetMeta(std::string key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string ResultSet::RenderText() const {
+  std::string out;
+  if (!scenario_.empty()) {
+    out += "=== " + scenario_ + " ===\n";
+    for (const auto& [k, v] : meta_) out += k + " = " + v + "\n";
+    out += "\n";
+  }
+  for (const ResultTable& t : tables_) {
+    if (!t.name.empty()) out += "-- " + t.name + " --\n";
+    util::TextTable tt(t.headers);
+    for (const auto& row : t.rows) tt.AddRow(row);
+    out += tt.Render();
+    out += "\n";
+  }
+  for (const std::string& note : notes_) out += note + "\n";
+  return out;
+}
+
+std::string ResultSet::RenderCsv() const {
+  std::string out;
+  for (const auto& [k, v] : meta_) out += "# meta: " + k + " = " + v + "\n";
+  bool first = true;
+  for (const ResultTable& t : tables_) {
+    if (!first) out += "\n";
+    first = false;
+    out += "# table: " + t.name + "\n";
+    util::TextTable tt(t.headers);
+    for (const auto& row : t.rows) tt.AddRow(row);
+    out += tt.RenderCsv();
+  }
+  // Notes ride along as comment lines (every line of a multi-line note
+  // prefixed) so no sink loses information — e.g. fig4's --net DOT dump.
+  for (const std::string& note : notes_) {
+    out += "\n";
+    std::string body = note;
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = body.find('\n', start);
+      out += "# note: " + body.substr(start, nl - start) + "\n";
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+    }
+  }
+  return out;
+}
+
+std::string ResultSet::RenderJson() const {
+  util::JsonWriter w;
+  w.BeginObject();
+  w.Key("scenario").String(scenario_);
+  w.Key("meta").BeginObject();
+  for (const auto& [k, v] : meta_) w.Key(k).String(v);
+  w.EndObject();
+  w.Key("tables").BeginArray();
+  for (const ResultTable& t : tables_) {
+    w.BeginObject();
+    w.Key("name").String(t.name);
+    w.Key("headers").BeginArray();
+    for (const std::string& h : t.headers) w.String(h);
+    w.EndArray();
+    w.Key("rows").BeginArray();
+    for (const auto& row : t.rows) {
+      w.BeginArray();
+      for (const std::string& cell : row) w.String(cell);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("notes").BeginArray();
+  for (const std::string& note : notes_) w.String(note);
+  w.EndArray();
+  w.EndObject();
+  return w.Str() + "\n";
+}
+
+std::string ResultSet::Render(OutputFormat format) const {
+  switch (format) {
+    case OutputFormat::kText:
+      return RenderText();
+    case OutputFormat::kCsv:
+      return RenderCsv();
+    case OutputFormat::kJson:
+      return RenderJson();
+  }
+  throw util::InvalidArgument("unhandled output format");
+}
+
+}  // namespace wsn::scenario

@@ -1,0 +1,146 @@
+#include "scenario/run_main.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace wsn::scenario {
+
+namespace {
+
+std::vector<util::FlagSpec> GlobalFlags() {
+  return {
+      {"threads", "T", "0",
+       "worker threads for the sweep/replication grid (0 = hardware)"},
+      {"format", "FMT", "table", "output format: table, csv or json"},
+  };
+}
+
+std::vector<util::FlagSpec> AllFlags(const Scenario& scenario) {
+  std::vector<util::FlagSpec> flags = scenario.Flags();
+  for (util::FlagSpec& f : GlobalFlags()) flags.push_back(std::move(f));
+  return flags;
+}
+
+std::string ScenarioHelp(const Scenario& scenario) {
+  return util::RenderHelp(
+      "wsnctl run " + scenario.Name() + " [flags]",
+      scenario.Summary() + "\nreproduces: " + scenario.Artifact(),
+      AllFlags(scenario));
+}
+
+/// Validate, execute and print one scenario.  Shared by `wsnctl run`
+/// and the thin artifact shims.  `expected_positional` is the number of
+/// non-flag tokens the invocation legitimately carries (subcommand +
+/// scenario name for wsnctl, none for a shim); anything beyond that is
+/// a flag typed without its dashes and must fail as loudly as an
+/// unknown flag would.
+int RunOne(const Scenario& scenario, const util::CliArgs& args,
+           std::size_t expected_positional) {
+  if (args.GetBool("help")) {
+    std::cout << ScenarioHelp(scenario);
+    return 0;
+  }
+  if (args.Positional().size() > expected_positional) {
+    throw util::InvalidArgument(
+        "unexpected argument '" + args.Positional()[expected_positional] +
+        "' (flags are written --name=value; run with --help)");
+  }
+  util::RequireKnownFlags(args, AllFlags(scenario));
+  const OutputFormat format =
+      ParseOutputFormat(args.GetString("format", "table"));
+  util::ParallelExecutor executor(args.GetCount("threads", 0));
+
+  ScenarioContext ctx;
+  ctx.args = &args;
+  ctx.executor = &executor;
+  const ResultSet results = scenario.Run(ctx);
+  std::cout << results.Render(format);
+  return 0;
+}
+
+int ListScenarios() {
+  util::TextTable table({"name", "artifact", "summary"});
+  for (const Scenario* s : ScenarioRegistry::Instance().All()) {
+    table.AddRow({s->Name(), s->Artifact(), s->Summary()});
+  }
+  std::cout << table.Render();
+  std::cout << "\nrun one with: wsnctl run <name> [--help]\n";
+  return 0;
+}
+
+const Scenario* FindOrComplain(const std::string& name) {
+  const Scenario* s = ScenarioRegistry::Instance().Find(name);
+  if (s == nullptr) {
+    std::cerr << "error: unknown scenario '" << name
+              << "' (see `wsnctl list`)\n";
+  }
+  return s;
+}
+
+int Usage(std::ostream& os, int code) {
+  os << "usage:\n"
+        "  wsnctl list                    show registered scenarios\n"
+        "  wsnctl help <scenario>         show a scenario's flags\n"
+        "  wsnctl run <scenario> [flags]  run and print results\n";
+  return code;
+}
+
+}  // namespace
+
+int WsnctlMain(int argc, const char* const* argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+    const auto& positional = args.Positional();
+    if (positional.empty()) {
+      return Usage(args.GetBool("help") ? std::cout : std::cerr,
+                   args.GetBool("help") ? 0 : 2);
+    }
+    const std::string& command = positional[0];
+    if (command == "list") {
+      // list/help take no flags; a typo'd flag must not pass silently.
+      util::RequireKnownFlags(args, {});
+      return ListScenarios();
+    }
+    if (command == "help") {
+      if (positional.size() < 2) return Usage(std::cerr, 2);
+      util::RequireKnownFlags(args, {});
+      const Scenario* s = FindOrComplain(positional[1]);
+      if (s == nullptr) return 2;
+      std::cout << ScenarioHelp(*s);
+      return 0;
+    }
+    if (command == "run") {
+      if (positional.size() < 2) return Usage(std::cerr, 2);
+      const Scenario* s = FindOrComplain(positional[1]);
+      if (s == nullptr) return 2;
+      return RunOne(*s, args, 2);
+    }
+    std::cerr << "error: unknown command '" << command << "'\n";
+    return Usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+int RunScenarioMain(const std::string& name, int argc,
+                    const char* const* argv) {
+  try {
+    const Scenario* s = ScenarioRegistry::Instance().Find(name);
+    if (s == nullptr) {
+      std::cerr << "error: scenario '" << name << "' is not registered\n";
+      return 2;
+    }
+    return RunOne(*s, util::CliArgs(argc, argv), 0);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace wsn::scenario

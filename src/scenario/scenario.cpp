@@ -1,0 +1,83 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wsn::scenario {
+
+namespace {
+
+class LambdaScenario final : public Scenario {
+ public:
+  LambdaScenario(std::string name, std::string summary, std::string artifact,
+                 std::vector<util::FlagSpec> flags,
+                 std::function<ResultSet(const ScenarioContext&)> run)
+      : name_(std::move(name)),
+        summary_(std::move(summary)),
+        artifact_(std::move(artifact)),
+        flags_(std::move(flags)),
+        run_(std::move(run)) {}
+
+  std::string Name() const override { return name_; }
+  std::string Summary() const override { return summary_; }
+  std::string Artifact() const override { return artifact_; }
+  std::vector<util::FlagSpec> Flags() const override { return flags_; }
+  ResultSet Run(const ScenarioContext& ctx) const override {
+    return run_(ctx);
+  }
+
+ private:
+  std::string name_;
+  std::string summary_;
+  std::string artifact_;
+  std::vector<util::FlagSpec> flags_;
+  std::function<ResultSet(const ScenarioContext&)> run_;
+};
+
+}  // namespace
+
+ScenarioRegistry& ScenarioRegistry::Instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::Register(std::unique_ptr<Scenario> scenario) {
+  util::Require(scenario != nullptr, "cannot register a null scenario");
+  util::Require(Find(scenario->Name()) == nullptr,
+                "duplicate scenario name '" + scenario->Name() + "'");
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::Find(const std::string& name) const {
+  for (const auto& s : scenarios_) {
+    if (s->Name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::All() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.get());
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->Name() < b->Name();
+            });
+  return out;
+}
+
+ScenarioRegistrar::ScenarioRegistrar(std::unique_ptr<Scenario> scenario) {
+  ScenarioRegistry::Instance().Register(std::move(scenario));
+}
+
+std::unique_ptr<Scenario> MakeScenario(
+    std::string name, std::string summary, std::string artifact,
+    std::vector<util::FlagSpec> flags,
+    std::function<ResultSet(const ScenarioContext&)> run) {
+  return std::make_unique<LambdaScenario>(std::move(name), std::move(summary),
+                                          std::move(artifact),
+                                          std::move(flags), std::move(run));
+}
+
+}  // namespace wsn::scenario

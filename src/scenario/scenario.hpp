@@ -1,0 +1,88 @@
+// The Scenario abstraction: one registered, named experiment = one paper
+// table/figure, ablation, exploration or netsim study.
+//
+// A scenario declares its flag vocabulary (FlagSpec drives both unknown-
+// flag rejection and auto-generated --help), consumes a parsed CliArgs,
+// fans its sweep/replication grid across the ParallelExecutor it is
+// handed, and returns a structured ResultSet.  Everything above — the
+// wsnctl driver, the thin bench_*/example shims, the smoke tests — is
+// shared plumbing in run_main.{hpp,cpp}.
+//
+// Registration is self-contained: each scenarios_*.cpp translation unit
+// defines file-scope ScenarioRegistrar objects whose constructors insert
+// into the process-wide ScenarioRegistry.  Those translation units live
+// in the `wsn_scenarios` CMake object library so the linker can never
+// drop them (a classic static-library registration hazard).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scenario/result.hpp"
+#include "util/cli.hpp"
+#include "util/executor.hpp"
+
+namespace wsn::scenario {
+
+struct ScenarioContext {
+  const util::CliArgs* args = nullptr;
+  util::ParallelExecutor* executor = nullptr;
+
+  const util::CliArgs& Args() const { return *args; }
+  util::ParallelExecutor& Executor() const { return *executor; }
+};
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Registry key, e.g. "table4" — what `wsnctl run <name>` matches.
+  virtual std::string Name() const = 0;
+
+  /// One-line description for `wsnctl list`.
+  virtual std::string Summary() const = 0;
+
+  /// The paper artifact this reproduces ("paper Table 4", "extension").
+  virtual std::string Artifact() const = 0;
+
+  /// Accepted flags (validation + --help).  Scenario-specific only; the
+  /// driver appends the global flags (--threads, --format, --help).
+  virtual std::vector<util::FlagSpec> Flags() const = 0;
+
+  virtual ResultSet Run(const ScenarioContext& ctx) const = 0;
+};
+
+class ScenarioRegistry {
+ public:
+  /// The process-wide registry.
+  static ScenarioRegistry& Instance();
+
+  /// Throws InvalidArgument on duplicate names.
+  void Register(std::unique_ptr<Scenario> scenario);
+
+  /// Null when not found.
+  const Scenario* Find(const std::string& name) const;
+
+  /// All scenarios, sorted by name.
+  std::vector<const Scenario*> All() const;
+
+ private:
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+/// File-scope helper: constructing one registers the scenario.
+struct ScenarioRegistrar {
+  explicit ScenarioRegistrar(std::unique_ptr<Scenario> scenario);
+};
+
+/// Build a Scenario from plain data plus a run function — the idiom the
+/// scenarios_*.cpp registration files use.
+std::unique_ptr<Scenario> MakeScenario(
+    std::string name, std::string summary, std::string artifact,
+    std::vector<util::FlagSpec> flags,
+    std::function<ResultSet(const ScenarioContext&)> run);
+
+}  // namespace wsn::scenario

@@ -1,0 +1,262 @@
+// Registered scenarios for the packet-level network simulator: the
+// lifetime study (deaths, re-routing, partition under bursty traffic)
+// and the replication-throughput benchmark, both thin clients of the
+// scenario executor.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/models.hpp"
+#include "des/bursty_workload.hpp"
+#include "netsim/replication.hpp"
+#include "scenario/common.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+#include "wsn/network.hpp"
+
+namespace wsn::scenario {
+namespace {
+
+netsim::NetSimConfig NetConfigFromArgs(const util::CliArgs& args,
+                                       double default_rate,
+                                       double default_spacing,
+                                       std::size_t default_cols,
+                                       std::size_t default_rows) {
+  netsim::NetSimConfig cfg;
+  cfg.network.node.cpu.arrival_rate = args.GetDouble("rate", default_rate);
+  cfg.network.node.cpu.service_rate =
+      10.0 * cfg.network.node.cpu.arrival_rate;
+  cfg.network.node.sample_bits = 1024;
+  cfg.network.node.listen_duty_cycle = 0.01;
+  cfg.network.sink = {0.0, 0.0};
+  cfg.network.max_hop_m = args.GetDouble("hop", 40.0);
+  cfg.positions = node::MakeGrid(args.GetCount("cols", default_cols, 1),
+                                 args.GetCount("rows", default_rows, 1),
+                                 args.GetDouble("spacing", default_spacing));
+  return cfg;
+}
+
+netsim::ReplicationConfig RepConfigFromArgs(const util::CliArgs& args,
+                                            std::size_t default_reps) {
+  netsim::ReplicationConfig rep;
+  rep.replications = args.GetCount("replications", default_reps, 1);
+  rep.seed = static_cast<std::uint64_t>(args.GetCount("seed", 2008));
+  return rep;
+}
+
+std::string CountCell(std::size_t observed, std::size_t total) {
+  return std::to_string(observed) + "/" + std::to_string(total) + " reps";
+}
+
+// End-to-end lifetime study (ported from the netsim_demo main): a node
+// grid reporting to a corner sink under bursty (MMPP quiet/storm)
+// traffic, with small batteries so a run exhibits the full arc — node
+// deaths, re-routing around dead relays, and finally partition.
+ResultSet RunNetsimLifetime(const ScenarioContext& ctx) {
+  const util::CliArgs& args = ctx.Args();
+  netsim::NetSimConfig cfg = NetConfigFromArgs(args, 2.0, 15.0, 10, 5);
+  cfg.network.node.cpu_power = energy::Msp430();
+  cfg.network.node.battery_mah = args.GetDouble("battery-mah", 0.05);
+  cfg.horizon_s = args.GetDouble("horizon", 4000.0);
+  cfg.stop_at_partition = true;  // measure the connected phase
+  cfg.timeline_interval_s = cfg.horizon_s / 20.0;
+
+  const bool steady = args.GetBool("steady");
+  if (!steady) {
+    // Event-storm traffic: mostly quiet at 20% of the nominal rate, with
+    // occasional bursts at 10x (long-run mean close to the nominal rate).
+    const double rate = cfg.network.node.cpu.arrival_rate;
+    cfg.traffic_factory = [rate](std::size_t) {
+      return std::make_unique<des::MmppWorkload>(
+          std::vector<double>{0.2 * rate, 10.0 * rate},
+          std::vector<std::vector<double>>{{-0.02, 0.02}, {0.2, -0.2}});
+    };
+  }
+
+  netsim::ReplicationConfig rep = RepConfigFromArgs(args, 8);
+  rep.keep_reports = true;
+
+  const core::MarkovCpuModel model;
+  const netsim::ReplicationSummary summary =
+      RunReplications(cfg, model, rep, ctx.Executor());
+
+  ResultSet results("netsim lifetime study: deaths, re-routing, partition");
+  results.SetMeta("nodes", std::to_string(cfg.positions.size()));
+  results.SetMeta("traffic", steady ? "steady Poisson" : "bursty MMPP");
+  results.SetMeta("replications", std::to_string(rep.replications));
+  results.SetMeta("horizon", util::FormatFixed(cfg.horizon_s, 0) + " s");
+  results.SetMeta("seed", std::to_string(rep.seed));
+
+  ResultTable& lifetimes = results.AddTable(
+      "summary", {"metric", "mean +- 95% CI", "observed in"});
+  lifetimes.AddRow({"time to first death (s)",
+                    util::FormatInterval(summary.first_death_s.ci.mean,
+                                         summary.first_death_s.ci.half_width,
+                                         1),
+                    CountCell(summary.first_death_s.observed,
+                              summary.replications)});
+  lifetimes.AddRow({"time to partition (s)",
+                    util::FormatInterval(summary.partition_s.ci.mean,
+                                         summary.partition_s.ci.half_width, 1),
+                    CountCell(summary.partition_s.observed,
+                              summary.replications)});
+  lifetimes.AddRow({"delivery ratio",
+                    util::FormatInterval(summary.delivery_ratio.ci.mean,
+                                         summary.delivery_ratio.ci.half_width,
+                                         4),
+                    CountCell(summary.replications, summary.replications)});
+  lifetimes.AddRow({"packets delivered",
+                    util::FormatInterval(summary.delivered.ci.mean,
+                                         summary.delivered.ci.half_width, 1),
+                    CountCell(summary.replications, summary.replications)});
+
+  // Zoom into replication 0: the hot path near the sink dies first.
+  const netsim::NetSimReport& rep0 = summary.reports.front();
+  ResultTable& nodes = results.AddTable(
+      "replication-0-nodes", {"node", "pos", "generated", "forwarded",
+                              "dropped", "energy (J)", "death (s)"});
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < rep0.nodes.size() && shown < 10; ++i) {
+    const netsim::NodeSimStats& n = rep0.nodes[i];
+    if (n.alive && shown >= 5) continue;  // highlight the casualties
+    ++shown;
+    nodes.AddRow({std::to_string(i),
+                  "(" + util::FormatFixed(cfg.positions[i].x, 0) + "," +
+                      util::FormatFixed(cfg.positions[i].y, 0) + ")",
+                  std::to_string(n.generated), std::to_string(n.forwarded),
+                  std::to_string(n.dropped),
+                  util::FormatFixed(n.energy_used_j, 3),
+                  std::isfinite(n.death_s) ? util::FormatFixed(n.death_s, 1)
+                                           : std::string("alive")});
+  }
+
+  ResultTable& drops =
+      results.AddTable("replication-0-drops", {"drop reason", "packets"});
+  for (std::size_t r = 0; r < netsim::kDropReasonCount; ++r) {
+    const auto reason = static_cast<netsim::DropReason>(r);
+    drops.AddRow({netsim::DropReasonName(reason),
+                  std::to_string(rep0.packets.Dropped(reason))});
+  }
+
+  results.AddNote(
+      "replication 0: generated " + std::to_string(rep0.packets.generated) +
+      ", delivered " + std::to_string(rep0.packets.delivered) +
+      ", first death " +
+      (std::isfinite(rep0.first_death_s)
+           ? "at " + util::FormatFixed(rep0.first_death_s, 1) + " s (node " +
+                 std::to_string(rep0.first_dead_node) + ")"
+           : std::string("never")) +
+      ", partition " +
+      (std::isfinite(rep0.partition_s)
+           ? "at " + util::FormatFixed(rep0.partition_s, 1) + " s"
+           : std::string("never")) +
+      ", " + std::to_string(rep0.events) + " events");
+  return results;
+}
+
+// Replication-throughput benchmark (ported from the bench_netsim main):
+// replications/second single-threaded vs fanned out across the scenario
+// executor, on a node-grid topology.
+ResultSet RunNetsimThroughput(const ScenarioContext& ctx) {
+  const util::CliArgs& args = ctx.Args();
+  netsim::NetSimConfig cfg = NetConfigFromArgs(args, 2.0, 25.0, 10, 10);
+  cfg.network.node.cpu_power = energy::Pxa271();
+  cfg.horizon_s = args.GetDouble("horizon", 30.0);
+
+  const netsim::ReplicationConfig rep = RepConfigFromArgs(args, 32);
+  const core::MarkovCpuModel model;
+
+  ResultSet results("netsim replication throughput: serial vs executor");
+  results.SetMeta("nodes", std::to_string(cfg.positions.size()));
+  results.SetMeta("horizon", util::FormatFixed(cfg.horizon_s, 0) + " s");
+  results.SetMeta("replications", std::to_string(rep.replications));
+  results.SetMeta("hardware-threads",
+                  std::to_string(std::thread::hardware_concurrency()));
+
+  const auto timed = [&](util::ParallelExecutor& executor) {
+    const auto start = std::chrono::steady_clock::now();
+    const netsim::ReplicationSummary summary =
+        RunReplications(cfg, model, rep, executor);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return std::make_pair(summary, wall);
+  };
+
+  util::ParallelExecutor serial_exec(1);
+  const auto [serial, serial_s] = timed(serial_exec);
+  const auto [parallel, parallel_s] = timed(ctx.Executor());
+
+  const double reps = static_cast<double>(rep.replications);
+  ResultTable& table = results.AddTable(
+      "throughput", {"mode", "threads", "wall (s)", "replications/s",
+                     "speedup"});
+  table.AddRow({"serial", "1", util::FormatFixed(serial_s, 3),
+                util::FormatFixed(reps / serial_s, 2), "1.00"});
+  table.AddRow({"executor", std::to_string(ctx.Executor().ThreadCount()),
+                util::FormatFixed(parallel_s, 3),
+                util::FormatFixed(reps / parallel_s, 2),
+                util::FormatFixed(serial_s / parallel_s, 2)});
+
+  results.AddNote("checks: delivery ratio " +
+                  util::FormatInterval(serial.delivery_ratio.ci.mean,
+                                       serial.delivery_ratio.ci.half_width,
+                                       4) +
+                  " (serial) vs " +
+                  util::FormatInterval(parallel.delivery_ratio.ci.mean,
+                                       parallel.delivery_ratio.ci.half_width,
+                                       4) +
+                  " (parallel) — identical streams, identical results");
+  return results;
+}
+
+std::vector<util::FlagSpec> TopologyFlags(const std::string& cols,
+                                          const std::string& rows,
+                                          const std::string& spacing) {
+  return {
+      {"cols", "C", cols, "grid columns"},
+      {"rows", "R", rows, "grid rows"},
+      {"spacing", "M", spacing, "grid spacing (m)"},
+      {"hop", "M", "40", "max radio hop range (m)"},
+      {"rate", "L", "2", "per-node report rate (1/s)"},
+  };
+}
+
+const ScenarioRegistrar reg_netsim_lifetime(MakeScenario(
+    "netsim-lifetime",
+    "packet-level lifetime study: deaths, re-routing and partition",
+    "extension (dynamic counterpart of wsn-lifetime)",
+    [] {
+      std::vector<util::FlagSpec> flags = TopologyFlags("10", "5", "15");
+      flags.push_back({"battery-mah", "MAH", "0.05", "per-node battery"});
+      flags.push_back({"horizon", "S", "4000", "simulation horizon (s)"});
+      flags.push_back({"replications", "R", "8",
+                       "independent replications (>= 1)"});
+      flags.push_back({"seed", "N", "2008", "master RNG seed (non-negative)"});
+      flags.push_back({"steady", "", "",
+                       "steady Poisson traffic instead of bursty MMPP"});
+      return flags;
+    }(),
+    RunNetsimLifetime));
+
+const ScenarioRegistrar reg_netsim_throughput(MakeScenario(
+    "netsim-throughput",
+    "replications/second: serial vs the scenario executor",
+    "extension (engineering benchmark)",
+    [] {
+      std::vector<util::FlagSpec> flags = TopologyFlags("10", "10", "25");
+      flags.push_back({"horizon", "S", "30", "simulation horizon (s)"});
+      flags.push_back({"replications", "R", "32",
+                       "independent replications (>= 1)"});
+      flags.push_back({"seed", "N", "2008", "master RNG seed (non-negative)"});
+      return flags;
+    }(),
+    RunNetsimThroughput));
+
+}  // namespace
+}  // namespace wsn::scenario

@@ -1,0 +1,227 @@
+// Registered scenarios for the paper's headline artifacts: Tables 4-5
+// (pairwise model deltas over the PDT sweep) and Figures 4-5 (state
+// shares / energy vs Power Down Threshold).  These used to be four
+// hand-rolled bench_* mains; the sweeps now fan out across the scenario
+// executor, point-parallel for the first time, while staying
+// bit-reproducible per (seed, point).
+#include <string>
+#include <vector>
+
+#include "core/cpu_petri_net.hpp"
+#include "core/models.hpp"
+#include "petri/dot.hpp"
+#include "scenario/common.hpp"
+#include "scenario/scenario.hpp"
+#include "util/table.hpp"
+
+namespace wsn::scenario {
+namespace {
+
+/// The paper's three PUD rows for Tables 4/5.
+const std::vector<double> kPaperPudValues = {0.001, 0.3, 10.0};
+
+void SetSweepMeta(ResultSet& results, const core::EvalConfig& cfg,
+                  std::size_t points) {
+  results.SetMeta("sim-time", util::FormatFixed(cfg.sim_time, 0) + " s");
+  results.SetMeta("replications", std::to_string(cfg.replications));
+  results.SetMeta("seed", std::to_string(cfg.seed));
+  results.SetMeta("points", std::to_string(points));
+}
+
+core::DeltaTables PaperDeltaTables(const ScenarioContext& ctx,
+                                   const core::EvalConfig& cfg,
+                                   std::size_t points) {
+  const core::SimulationCpuModel sim(cfg);
+  const core::MarkovCpuModel markov;
+  const core::PetriNetCpuModel pn(cfg);
+  return core::ComputeDeltaTables(sim, markov, pn, PaperParams(),
+                                  kPaperPudValues, core::PaperPdtGrid(points),
+                                  energy::Pxa271(), kEnergyHorizonSeconds,
+                                  ctx.Executor());
+}
+
+void FillDeltaTable(ResultTable& table, const std::vector<core::DeltaRow>& rows) {
+  for (const core::DeltaRow& row : rows) {
+    table.AddNumericRow({row.power_up_delay, row.sim_markov, row.sim_pn,
+                         row.markov_pn},
+                        3);
+  }
+}
+
+std::vector<util::FlagSpec> SweepFlags() {
+  std::vector<util::FlagSpec> flags = CommonEvalFlags();
+  flags.push_back(PointsFlag());
+  return flags;
+}
+
+ResultSet RunTable4(const ScenarioContext& ctx) {
+  const core::EvalConfig cfg = EvalConfigFromArgs(ctx.Args());
+  const std::size_t points = SweepPointsFromArgs(ctx.Args());
+
+  ResultSet results("Table 4: |Delta| steady-state percentages (pct points) "
+                    "for varying Power Up Delay");
+  SetSweepMeta(results, cfg, points);
+  ResultTable& table =
+      results.AddTable("share-deltas", {"PowerUpDelay(s)", "Avg |Sim-Markov|",
+                                        "Avg |Sim-PN|", "Avg |Markov-PN|"});
+  FillDeltaTable(table, PaperDeltaTables(ctx, cfg, points).share_deltas);
+  results.AddNote(
+      "Paper Table 4 (for reference, summed over the 4 states the paper\n"
+      "reports larger magnitudes; shape is what must match):\n"
+      "  PUD=0.001: Sim-Markov 0.338, Sim-PN 0.351, Markov-PN 0.076\n"
+      "  PUD=0.3  : Sim-Markov 4.182, Sim-PN 1.677, Markov-PN 3.338\n"
+      "  PUD=10.0 : Sim-Markov 116.8, Sim-PN 16.05, Markov-PN 103.1\n"
+      "Expected shape: Sim-Markov explodes as PUD grows; Sim-PN stays "
+      "small.");
+  return results;
+}
+
+ResultSet RunTable5(const ScenarioContext& ctx) {
+  const core::EvalConfig cfg = EvalConfigFromArgs(ctx.Args());
+  const std::size_t points = SweepPointsFromArgs(ctx.Args());
+
+  ResultSet results("Table 5: |Delta| energy (J) for varying Power Up Delay "
+                    "(PXA271, Eq. 25)");
+  SetSweepMeta(results, cfg, points);
+  ResultTable& table =
+      results.AddTable("energy-deltas", {"PowerUpDelay(s)", "Avg |Sim-Markov|",
+                                         "Avg |Sim-PN|", "Avg |Markov-PN|"});
+  FillDeltaTable(table, PaperDeltaTables(ctx, cfg, points).energy_deltas);
+  results.AddNote(
+      "Paper Table 5 (reference):\n"
+      "  PUD=0.001: Sim-Markov 0.154, Sim-PN 0.166, Markov-PN 0.037\n"
+      "  PUD=0.3  : Sim-Markov 1.558, Sim-PN 0.298, Markov-PN 1.401\n"
+      "  PUD=10.0 : Sim-Markov 24.87, Sim-PN 1.285, Markov-PN 25.41\n"
+      "Expected shape: the Markov energy error grows with PUD while the "
+      "Petri net tracks the simulation.");
+  return results;
+}
+
+/// The three per-model sweeps behind both figures.
+struct FigureSweeps {
+  core::SweepSeries sim;
+  core::SweepSeries markov;
+  core::SweepSeries pn;
+  std::vector<double> grid;
+};
+
+FigureSweeps RunFigureSweeps(const ScenarioContext& ctx,
+                             const core::EvalConfig& cfg,
+                             const core::CpuParams& base, std::size_t points) {
+  FigureSweeps out;
+  out.grid = core::PaperPdtGrid(points);
+  const core::SimulationCpuModel sim(cfg);
+  const core::MarkovCpuModel markov;
+  const core::PetriNetCpuModel pn(cfg);
+  const auto table = energy::Pxa271();
+  out.sim = core::SweepPowerDownThreshold(sim, base, out.grid, table,
+                                          kEnergyHorizonSeconds,
+                                          ctx.Executor());
+  out.markov = core::SweepPowerDownThreshold(markov, base, out.grid, table,
+                                             kEnergyHorizonSeconds,
+                                             ctx.Executor());
+  out.pn = core::SweepPowerDownThreshold(pn, base, out.grid, table,
+                                         kEnergyHorizonSeconds,
+                                         ctx.Executor());
+  return out;
+}
+
+std::vector<util::FlagSpec> FigureFlags() {
+  std::vector<util::FlagSpec> flags = SweepFlags();
+  flags.push_back({"pud", "D", "0.001", "Power Up Delay (s)"});
+  return flags;
+}
+
+ResultSet RunFig4(const ScenarioContext& ctx) {
+  const core::EvalConfig cfg = EvalConfigFromArgs(ctx.Args());
+  const std::size_t points = SweepPointsFromArgs(ctx.Args());
+  core::CpuParams base = PaperParams();
+  base.power_up_delay = ctx.Args().GetDouble("pud", 0.001);
+
+  ResultSet results("Figure 4: state shares vs Power Down Threshold");
+  SetSweepMeta(results, cfg, points);
+  results.SetMeta("pud", util::FormatFixed(base.power_up_delay, 3) + " s");
+
+  if (ctx.Args().GetBool("net")) {
+    // Structure audit: DOT export of the Table 1 net.
+    const petri::PetriNet net = core::BuildCpuPetriNet(base);
+    results.AddNote(petri::ToDot(net, "cpu_edspn"));
+  }
+
+  const FigureSweeps s = RunFigureSweeps(ctx, cfg, base, points);
+  ResultTable& table = results.AddTable(
+      "state-shares",
+      {"PDT(s)", "sim:idle%", "sim:standby%", "sim:powerup%", "sim:active%",
+       "mkv:idle%", "mkv:standby%", "mkv:powerup%", "mkv:active%",
+       "pn:idle%", "pn:standby%", "pn:powerup%", "pn:active%"});
+  for (std::size_t i = 0; i < s.grid.size(); ++i) {
+    const auto& a = s.sim.points[i].eval.shares;
+    const auto& b = s.markov.points[i].eval.shares;
+    const auto& c = s.pn.points[i].eval.shares;
+    table.AddNumericRow(
+        {s.grid[i], a.idle * 100.0, a.standby * 100.0, a.powerup * 100.0,
+         a.active * 100.0, b.idle * 100.0, b.standby * 100.0,
+         b.powerup * 100.0, b.active * 100.0, c.idle * 100.0,
+         c.standby * 100.0, c.powerup * 100.0, c.active * 100.0},
+        2);
+  }
+  results.AddNote(
+      "Expected shape (paper Fig. 4): Idle rises and Standby falls with "
+      "PDT; Active stays ~" +
+      util::FormatFixed(PaperParams().Rho() * 100.0, 1) +
+      "%; PowerUp stays near zero at PUD = 0.001 s.");
+  return results;
+}
+
+ResultSet RunFig5(const ScenarioContext& ctx) {
+  const core::EvalConfig cfg = EvalConfigFromArgs(ctx.Args());
+  const std::size_t points = SweepPointsFromArgs(ctx.Args());
+  core::CpuParams base = PaperParams();
+  base.power_up_delay = ctx.Args().GetDouble("pud", 0.001);
+
+  ResultSet results("Figure 5: energy (J) vs Power Down Threshold "
+                    "(PXA271, Eq. 25)");
+  SetSweepMeta(results, cfg, points);
+  results.SetMeta("pud", util::FormatFixed(base.power_up_delay, 3) + " s");
+
+  const FigureSweeps s = RunFigureSweeps(ctx, cfg, base, points);
+  ResultTable& table = results.AddTable(
+      "energy", {"PDT(s)", "Simulation(J)", "Markov(J)", "PetriNet(J)"});
+  for (std::size_t i = 0; i < s.grid.size(); ++i) {
+    table.AddNumericRow({s.grid[i], s.sim.points[i].energy_joules,
+                         s.markov.points[i].energy_joules,
+                         s.pn.points[i].energy_joules},
+                        3);
+  }
+  results.AddNote(
+      "Expected shape (paper Fig. 5): energy increases with PDT (more time "
+      "in 88 mW Idle instead of 17 mW Standby), all three curves nearly "
+      "coincident at small PUD.");
+  return results;
+}
+
+const ScenarioRegistrar reg_table4(MakeScenario(
+    "table4",
+    "pairwise model deltas of steady-state percentages over the PDT sweep",
+    "paper Table 4", SweepFlags(), RunTable4));
+
+const ScenarioRegistrar reg_table5(MakeScenario(
+    "table5", "pairwise model deltas of predicted energy over the PDT sweep",
+    "paper Table 5", SweepFlags(), RunTable5));
+
+const ScenarioRegistrar reg_fig4(MakeScenario(
+    "fig4", "state shares vs Power Down Threshold for the three models",
+    "paper Figure 4",
+    [] {
+      std::vector<util::FlagSpec> flags = FigureFlags();
+      flags.push_back({"net", "", "", "also emit the Fig. 3 EDSPN as DOT"});
+      return flags;
+    }(),
+    RunFig4));
+
+const ScenarioRegistrar reg_fig5(MakeScenario(
+    "fig5", "total energy vs Power Down Threshold for the three models",
+    "paper Figure 5", FigureFlags(), RunFig5));
+
+}  // namespace
+}  // namespace wsn::scenario

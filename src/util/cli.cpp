@@ -1,6 +1,10 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <sstream>
 
 #include "util/error.hpp"
 
@@ -44,8 +48,14 @@ double CliArgs::GetDouble(const std::string& name, double fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
-  Require(end != it->second.c_str(), "flag --" + name + " is not a number");
+  Require(end != it->second.c_str() && *end == '\0' && !it->second.empty(),
+          "flag --" + name + " is not a number: '" + it->second + "'");
+  // ERANGE also fires on underflow to a (representable) subnormal; only
+  // overflow is an error.
+  Require(!(errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)),
+          "flag --" + name + " is out of range: '" + it->second + "'");
   return v;
 }
 
@@ -53,8 +63,14 @@ long CliArgs::GetInt(const std::string& name, long fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(it->second.c_str(), &end, 10);
-  Require(end != it->second.c_str(), "flag --" + name + " is not an integer");
+  // Partial parses ("3.9", "10x") are rejected, not truncated: a typo'd
+  // sweep config must fail loudly rather than alter results.
+  Require(end != it->second.c_str() && *end == '\0' && !it->second.empty(),
+          "flag --" + name + " is not an integer: '" + it->second + "'");
+  Require(errno != ERANGE,
+          "flag --" + name + " is out of range: '" + it->second + "'");
   return v;
 }
 
@@ -62,6 +78,62 @@ bool CliArgs::GetBool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::size_t CliArgs::GetCount(const std::string& name, std::size_t fallback,
+                              std::size_t min_value) const {
+  if (!Has(name)) return fallback;
+  const long v = GetInt(name, 0);
+  Require(v >= 0, "flag --" + name + " must be non-negative, got " +
+                      std::to_string(v));
+  const auto u = static_cast<std::size_t>(v);
+  Require(u >= min_value, "flag --" + name + " must be at least " +
+                              std::to_string(min_value) + ", got " +
+                              std::to_string(u));
+  return u;
+}
+
+std::vector<std::string> CliArgs::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+void RequireKnownFlags(const CliArgs& args,
+                       const std::vector<FlagSpec>& known) {
+  for (const std::string& name : args.FlagNames()) {
+    if (name == "help") continue;
+    const bool found =
+        std::any_of(known.begin(), known.end(),
+                    [&](const FlagSpec& f) { return f.name == name; });
+    if (!found) {
+      throw InvalidArgument("unknown flag --" + name +
+                            " (run with --help for the accepted flags)");
+    }
+  }
+}
+
+std::string RenderHelp(const std::string& usage, const std::string& description,
+                       const std::vector<FlagSpec>& flags) {
+  std::ostringstream os;
+  os << "usage: " << usage << "\n";
+  if (!description.empty()) os << "\n" << description << "\n";
+  if (flags.empty()) return os.str();
+  os << "\nflags:\n";
+  std::size_t width = 0;
+  auto lhs = [](const FlagSpec& f) {
+    return "--" + f.name + (f.value_hint.empty() ? "" : " " + f.value_hint);
+  };
+  for (const FlagSpec& f : flags) width = std::max(width, lhs(f).size());
+  for (const FlagSpec& f : flags) {
+    std::string left = lhs(f);
+    left.append(width - left.size(), ' ');
+    os << "  " << left << "  " << f.help;
+    if (!f.default_value.empty()) os << " (default: " << f.default_value << ")";
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace wsn::util

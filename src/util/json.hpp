@@ -1,0 +1,63 @@
+// Minimal JSON writer — just enough for the scenario engine's structured
+// result sink (BENCH_*.json artifacts, CI consumption).  Streaming, no
+// DOM: the caller opens objects/arrays and emits members in order, and
+// the writer handles commas, indentation and string escaping.
+//
+// Policy decisions (pinned by tests/test_json_writer.cpp):
+//   * strings are escaped per RFC 8259: `"`, `\`, and control characters
+//     below 0x20 (as \uXXXX except the common \b \f \n \r \t); all other
+//     bytes pass through untouched, so UTF-8 payloads survive round-trip;
+//   * NaN and +-Inf have no JSON representation and serialize as `null`
+//     (consumers must treat a null metric as "not observed");
+//   * finite doubles render with up to 17 significant digits ("%.17g"),
+//     enough to round-trip; integral values within 2^53 render without
+//     an exponent or trailing ".0" so seeds and counts stay readable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsn::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+/// Render a double per the policy above (`null` for NaN/Inf).
+std::string JsonNumber(double v);
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 renders compact single-line.
+  explicit JsonWriter(int indent = 2);
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Member key inside an object; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// The document so far.  Valid once every container has been closed.
+  const std::string& Str() const noexcept { return out_; }
+
+ private:
+  void BeforeValue();
+  void NewlineIndent();
+
+  std::string out_;
+  int indent_;
+  /// One entry per open container: true once it has at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace wsn::util

@@ -55,8 +55,7 @@ std::string TextTable::Render() const {
 
 std::string TextTable::RenderCsv() const {
   auto quote = [](const std::string& s) {
-    if (s.find(',') == std::string::npos &&
-        s.find('"') == std::string::npos) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) {
       return s;
     }
     std::string out = "\"";

@@ -24,7 +24,8 @@ class TextTable {
   /// Render with a rule under the header, columns right-padded.
   std::string Render() const;
 
-  /// Render as CSV (RFC-4180-lite: quotes cells containing commas).
+  /// Render as CSV (RFC-4180: cells containing commas, quotes or line
+  /// breaks are quoted, embedded quotes doubled).
   std::string RenderCsv() const;
 
   /// Write Render() to `os`.

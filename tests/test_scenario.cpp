@@ -1,0 +1,116 @@
+// Scenario engine: registry contents, flag validation, and the PR's
+// acceptance pin — running a scenario at --threads=1 and --threads=8
+// produces byte-identical table/CSV/JSON output for the same seed, for
+// both an analytic sweep (table4) and a netsim replication scenario
+// (netsim-lifetime).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scenario/result.hpp"
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+#include "util/executor.hpp"
+
+namespace wsn::scenario {
+namespace {
+
+const Scenario& Lookup(const std::string& name) {
+  const Scenario* s = ScenarioRegistry::Instance().Find(name);
+  EXPECT_NE(s, nullptr) << "scenario '" << name << "' not registered";
+  return *s;
+}
+
+/// Run `name` with `flags` on an executor of `threads` workers and
+/// render all three sinks concatenated.
+std::string RunAll(const std::string& name,
+                   const std::vector<std::string>& flags,
+                   std::size_t threads) {
+  std::vector<const char*> argv = {"test"};
+  for (const std::string& f : flags) argv.push_back(f.c_str());
+  const util::CliArgs args(static_cast<int>(argv.size()), argv.data());
+  util::ParallelExecutor executor(threads);
+  ScenarioContext ctx;
+  ctx.args = &args;
+  ctx.executor = &executor;
+  const ResultSet results = Lookup(name).Run(ctx);
+  return results.RenderText() + "\n#####\n" + results.RenderCsv() +
+         "\n#####\n" + results.RenderJson();
+}
+
+TEST(ScenarioRegistry, PaperArtifactsAreRegistered) {
+  for (const char* name : {"table4", "table5", "fig4", "fig5",
+                           "ablation-stages", "ablation-steady", "duty-cycle",
+                           "model-comparison", "wsn-lifetime",
+                           "netsim-lifetime", "netsim-throughput"}) {
+    EXPECT_NE(ScenarioRegistry::Instance().Find(name), nullptr)
+        << "missing scenario " << name;
+  }
+}
+
+TEST(ScenarioRegistry, FindReturnsNullForUnknown) {
+  EXPECT_EQ(ScenarioRegistry::Instance().Find("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, AllIsSortedByName) {
+  const auto all = ScenarioRegistry::Instance().All();
+  ASSERT_GE(all.size(), 11u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1]->Name(), all[i]->Name());
+  }
+}
+
+TEST(ScenarioRegistry, RejectsDuplicateNames) {
+  EXPECT_THROW(
+      ScenarioRegistry::Instance().Register(MakeScenario(
+          "table4", "dup", "dup", {},
+          [](const ScenarioContext&) { return ResultSet("dup"); })),
+      util::InvalidArgument);
+}
+
+TEST(ScenarioRegistry, EveryScenarioDeclaresItsFlags) {
+  // The unknown-flag guard only works if scenarios declare a vocabulary;
+  // every sweep scenario here takes at least one flag.
+  for (const Scenario* s : ScenarioRegistry::Instance().All()) {
+    EXPECT_FALSE(s->Flags().empty()) << s->Name();
+    EXPECT_FALSE(s->Summary().empty()) << s->Name();
+    EXPECT_FALSE(s->Artifact().empty()) << s->Name();
+  }
+}
+
+// Acceptance pin: analytic sweep determinism across thread counts.
+TEST(ScenarioDeterminism, Table4ByteIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> flags = {"--points=3", "--replications=2",
+                                          "--sim-time=20", "--seed=7"};
+  const std::string serial = RunAll("table4", flags, 1);
+  const std::string parallel = RunAll("table4", flags, 8);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: a different seed must actually change the simulation cells,
+  // proving the comparison is not trivially empty.
+  const std::string other_seed =
+      RunAll("table4", {"--points=3", "--replications=2", "--sim-time=20",
+                        "--seed=8"},
+             1);
+  EXPECT_NE(serial, other_seed);
+}
+
+// Acceptance pin: netsim replication determinism across thread counts.
+TEST(ScenarioDeterminism, NetsimLifetimeByteIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> flags = {"--cols=3", "--rows=2",
+                                          "--horizon=200",
+                                          "--replications=3", "--seed=11"};
+  const std::string serial = RunAll("netsim-lifetime", flags, 1);
+  const std::string parallel = RunAll("netsim-lifetime", flags, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ScenarioRun, RejectsInvalidEffortFlags) {
+  EXPECT_THROW(RunAll("table4", {"--replications=0"}, 1),
+               util::InvalidArgument);
+  EXPECT_THROW(RunAll("table4", {"--seed=-5"}, 1), util::InvalidArgument);
+  EXPECT_THROW(RunAll("table4", {"--points=-2"}, 1), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wsn::scenario

@@ -1,6 +1,9 @@
 // TextTable rendering, CSV escaping, CLI flag parsing and log levels.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "util/cli.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -44,6 +47,32 @@ TEST(TextTable, CsvEscapesQuotes) {
   EXPECT_NE(t.RenderCsv().find("\"say \"\"hi\"\",\""), std::string::npos);
 }
 
+TEST(TextTable, CsvQuotesEmbeddedNewlines) {
+  TextTable t({"name", "value"});
+  t.AddRow({"line1\nline2", "a\rb"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+  EXPECT_NE(csv.find("\"a\rb\""), std::string::npos);
+}
+
+TEST(TextTable, CsvQuotedCellWithQuoteAndNewlineTogether) {
+  TextTable t({"h"});
+  t.AddRow({"he said \"no\"\nthen left"});
+  EXPECT_NE(t.RenderCsv().find("\"he said \"\"no\"\"\nthen left\""),
+            std::string::npos);
+}
+
+TEST(TextTable, CsvEmptyCellsStayUnquoted) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"", "x", ""});
+  EXPECT_NE(t.RenderCsv().find(",x,\n"), std::string::npos);
+}
+
+TEST(TextTable, CsvHeaderOnlyTable) {
+  TextTable t({"only", "headers"});
+  EXPECT_EQ(t.RenderCsv(), "only,headers\n");
+}
+
 TEST(FormatHelpers, FixedAndInterval) {
   EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
   EXPECT_EQ(FormatInterval(1.0, 0.25, 2), "1.00 +- 0.25");
@@ -85,6 +114,78 @@ TEST(CliArgs, RejectsNonNumeric) {
   CliArgs args(3, argv);
   EXPECT_THROW(args.GetInt("n", 0), InvalidArgument);
   EXPECT_THROW(args.GetDouble("n", 0.0), InvalidArgument);
+}
+
+TEST(CliArgs, RejectsPartialNumericParses) {
+  // "3.9" must not silently truncate to 3, and trailing junk must fail.
+  const char* argv[] = {"prog", "--points=3.9", "--n=10x", "--x=1.5e3junk"};
+  CliArgs args(4, argv);
+  EXPECT_THROW(args.GetInt("points", 0), InvalidArgument);
+  EXPECT_THROW(args.GetInt("n", 0), InvalidArgument);
+  EXPECT_THROW(args.GetDouble("x", 0.0), InvalidArgument);
+  EXPECT_DOUBLE_EQ(args.GetDouble("points", 0.0), 3.9);
+}
+
+TEST(CliArgs, RejectsOutOfRangeIntegers) {
+  const char* argv[] = {"prog", "--seed=99999999999999999999999"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.GetInt("seed", 0), InvalidArgument);
+  EXPECT_THROW(args.GetCount("seed", 0), InvalidArgument);
+}
+
+TEST(CliArgs, GetCountRejectsNegativeAndBelowMinimum) {
+  const char* argv[] = {"prog", "--seed=-3", "--reps=0", "--points=5"};
+  CliArgs args(4, argv);
+  EXPECT_THROW(args.GetCount("seed", 0), InvalidArgument);
+  EXPECT_THROW(args.GetCount("reps", 1, 1), InvalidArgument);
+  EXPECT_EQ(args.GetCount("points", 11, 2), 5u);
+  EXPECT_EQ(args.GetCount("absent", 7, 1), 7u);
+}
+
+TEST(CliArgs, FlagNamesListsParsedFlagsSorted) {
+  const char* argv[] = {"prog", "--zeta", "1", "--alpha=2", "pos"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.FlagNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(RequireKnownFlags, AcceptsDeclaredFlagsAndHelp) {
+  const char* argv[] = {"prog", "--rate=2", "--help"};
+  CliArgs args(3, argv);
+  const std::vector<FlagSpec> known = {{"rate", "L", "1", "arrival rate"}};
+  EXPECT_NO_THROW(RequireKnownFlags(args, known));
+}
+
+TEST(RequireKnownFlags, RejectsUnknownFlagWithClearError) {
+  // The historical footgun: a typo'd flag silently fell back to its
+  // default; now it must fail loudly, naming the flag.
+  const char* argv[] = {"prog", "--replicatoins=8"};
+  CliArgs args(2, argv);
+  const std::vector<FlagSpec> known = {
+      {"replications", "R", "24", "independent replications"}};
+  try {
+    RequireKnownFlags(args, known);
+    FAIL() << "expected rejection";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("--replicatoins"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--help"), std::string::npos);
+  }
+}
+
+TEST(RenderHelp, ListsEveryFlagWithDefault) {
+  const std::vector<FlagSpec> flags = {
+      {"points", "K", "11", "sweep resolution"},
+      {"steady", "", "", "steady traffic"},
+  };
+  const std::string help = RenderHelp("prog [flags]", "a description", flags);
+  EXPECT_NE(help.find("usage: prog [flags]"), std::string::npos);
+  EXPECT_NE(help.find("a description"), std::string::npos);
+  EXPECT_NE(help.find("--points K"), std::string::npos);
+  EXPECT_NE(help.find("sweep resolution (default: 11)"), std::string::npos);
+  EXPECT_NE(help.find("--steady"), std::string::npos);
+  // Boolean flag without a default renders no "(default: )" noise.
+  EXPECT_EQ(help.find("steady traffic (default:"), std::string::npos);
 }
 
 TEST(Logging, LevelThresholding) {

@@ -1,12 +1,16 @@
 // Thread pool: completion, result propagation, exception forwarding and
-// parallel-for semantics under contention.
+// parallel-for semantics under contention; ParallelExecutor: ordering,
+// seeded streams and deterministic failure surfacing.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "util/executor.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace wsn::util {
@@ -87,6 +91,91 @@ TEST(ParallelFor, ReusablePool) {
   ParallelFor(pool, 50, [&](std::size_t) { ++counter; });
   ParallelFor(pool, 50, [&](std::size_t) { ++counter; });
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsOfValueTasks) {
+  // The exception travels through the returned future even when the task
+  // has a non-void result type and other tasks succeed around it.
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return std::string("fine"); });
+  auto bad = pool.Submit(
+      []() -> std::string { throw std::invalid_argument("task failed"); });
+  EXPECT_EQ(ok.get(), "fine");
+  try {
+    bad.get();
+    FAIL() << "expected the future to rethrow";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "task failed");
+  }
+}
+
+TEST(ParallelExecutor, MapKeepsIndexOrder) {
+  ParallelExecutor executor(4);
+  const std::vector<std::size_t> out =
+      executor.Map(100, [](std::size_t i) { return i * 3; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(ParallelExecutor, SerialWhenOneThread) {
+  ParallelExecutor executor(1);
+  EXPECT_TRUE(executor.Serial());
+  EXPECT_EQ(executor.ThreadCount(), 1u);
+  EXPECT_EQ(executor.Map(3, [](std::size_t i) { return i; }),
+            (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(ParallelExecutor, BorrowsAnExternalPool) {
+  ThreadPool pool(3);
+  ParallelExecutor executor(pool);
+  EXPECT_EQ(executor.ThreadCount(), 3u);
+  std::atomic<int> counter{0};
+  executor.RunIndexed(20, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelExecutor, SeededStreamsMatchSerialAndParallel) {
+  // The i-th job's randomness is a pure function of (seed, i): the draw
+  // sequence must be identical whatever the thread count.
+  const auto draw = [](ParallelExecutor& executor) {
+    return executor.MapSeeded(
+        16, 2008, [](std::size_t, Rng rng) { return rng(); });
+  };
+  ParallelExecutor serial(1);
+  ParallelExecutor parallel(8);
+  EXPECT_EQ(draw(serial), draw(parallel));
+}
+
+TEST(ParallelExecutor, SurfacesLowestIndexFailureDeterministically) {
+  // Several jobs fail; no matter which thread hits its error first, the
+  // rethrown exception is always the lowest failing index's.
+  ParallelExecutor executor(8);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      executor.RunIndexed(64, [](std::size_t i) {
+        if (i == 7 || i == 23 || i == 55) {
+          throw std::runtime_error("failed at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected a failure to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "failed at 7");
+    }
+  }
+}
+
+TEST(ParallelExecutor, RunsEveryJobDespiteFailures) {
+  ParallelExecutor executor(4);
+  std::atomic<int> started{0};
+  EXPECT_THROW(executor.RunIndexed(32,
+                                   [&](std::size_t i) {
+                                     ++started;
+                                     if (i % 2 == 0) {
+                                       throw std::runtime_error("even");
+                                     }
+                                   }),
+               std::runtime_error);
+  EXPECT_EQ(started.load(), 32);
 }
 
 }  // namespace
