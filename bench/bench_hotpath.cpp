@@ -1,0 +1,8 @@
+// Thin artifact shim: the hot-path benchmark via the scenario engine.
+// Equivalent to `wsnctl run bench-hotpath`; emit BENCH_hotpath.json with
+// `--format=json`.  See src/scenario/scenarios_bench.cpp.
+#include "scenario/run_main.hpp"
+
+int main(int argc, char** argv) {
+  return wsn::scenario::RunScenarioMain("bench-hotpath", argc, argv);
+}

@@ -1,0 +1,138 @@
+// Small-buffer-optimized move-only callable for the DES hot path.
+//
+// Every event the kernel fires used to carry a std::function<void()>,
+// whose type-erased closure lives on the heap for anything bigger than
+// the implementation's tiny inline buffer — one malloc/free per event,
+// millions of times per netsim replication.  InlineAction stores the
+// closure inline in a fixed 48-byte buffer instead (the kernel's event
+// records embed it directly in the slab), so scheduling an event never
+// allocates as long as the capture fits the budget.  All kernel clients
+// capture at most a `this` pointer plus an index (16 bytes), leaving
+// plenty of headroom; oversized or throwing-move callables fall back to
+// a heap box transparently, trading speed for correctness.
+//
+// Move-only by design: an event's action is consumed exactly once (fire
+// or cancel), so copyability would only invite accidental duplication.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wsn::des {
+
+/// Inline storage budget (bytes) for an event closure.  See
+/// docs/performance.md for how the number was chosen.
+inline constexpr std::size_t kActionInlineCapacity = 48;
+
+class InlineAction {
+ public:
+  InlineAction() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (FitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = InlineOps<Fn>();
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = BoxedOps<Fn>();
+    }
+  }
+
+  InlineAction(InlineAction&& other) noexcept { MoveFrom(other); }
+
+  InlineAction& operator=(InlineAction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { Reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the closure lives in the inline buffer (no heap box).
+  bool IsInline() const noexcept { return ops_ != nullptr && ops_->inline_stored; }
+
+  /// Invoke the stored callable.  Precondition: non-empty.
+  void operator()() { ops_->invoke(storage_); }
+
+  /// Destroy the stored callable (if any) and become empty.
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* p);
+    // Move-construct the callable at `dst` from `src` and destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* p) noexcept;
+    bool inline_stored;
+  };
+
+  // Inline storage requires a fitting size/alignment and a noexcept move
+  // (the relocate hook must not throw: it runs inside vector growth and
+  // move assignment).
+  template <typename Fn>
+  static constexpr bool FitsInline() {
+    return sizeof(Fn) <= kActionInlineCapacity &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static const Ops* InlineOps() noexcept {
+    static constexpr Ops ops = {
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          Fn* from = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+        true,
+    };
+    return &ops;
+  }
+
+  template <typename Fn>
+  static const Ops* BoxedOps() noexcept {
+    static constexpr Ops ops = {
+        [](void* p) { (**static_cast<Fn**>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn*(*static_cast<Fn**>(src));
+        },
+        [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+        false,
+    };
+    return &ops;
+  }
+
+  void MoveFrom(InlineAction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kActionInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace wsn::des

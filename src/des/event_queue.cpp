@@ -4,7 +4,6 @@
 #include <cmath>
 #include <queue>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "util/error.hpp"
@@ -30,17 +29,21 @@ class BinaryHeapEventQueue final : public EventQueue {
  public:
   void Push(double time, EventId id) override {
     heap_.push({time, id});
-    live_.insert(id);
+    const std::size_t slot = EventSlotOf(id);
+    if (slot >= live_by_slot_.size()) live_by_slot_.resize(slot + 1, 0);
+    live_by_slot_[slot] = id;
+    ++size_;
   }
 
-  bool Empty() const override { return live_.empty(); }
+  bool Empty() const override { return size_ == 0; }
 
   QueuedEvent PopMin() override {
     SkipCancelled();
     Require(!heap_.empty(), "PopMin on empty event queue");
     const HeapEntry e = heap_.top();
     heap_.pop();
-    live_.erase(e.id);
+    live_by_slot_[EventSlotOf(e.id)] = 0;
+    --size_;
     return {e.time, e.id};
   }
 
@@ -52,32 +55,37 @@ class BinaryHeapEventQueue final : public EventQueue {
   }
 
   bool Cancel(EventId id) override {
-    // Lazy deletion: drop from the live set now, skip the heap entry when
-    // it surfaces at the top.
-    if (live_.erase(id) == 0) return false;
-    cancelled_.insert(id);
+    // Lazy deletion without hashing: clear the slot-addressed liveness
+    // mark now, skip the stale heap entry when it surfaces at the top.
+    // A reused slot holds a different full id, so stale entries from
+    // earlier occupants can never read as live.
+    if (!IsLive(id)) return false;
+    live_by_slot_[EventSlotOf(id)] = 0;
+    --size_;
     return true;
   }
 
-  std::size_t Size() const override { return live_.size(); }
+  std::size_t Size() const override { return size_; }
 
   std::string Name() const override { return "binary-heap"; }
 
  private:
+  bool IsLive(EventId id) const noexcept {
+    if (id == 0) return false;  // 0 doubles as the empty-slot marker
+    const std::size_t slot = EventSlotOf(id);
+    return slot < live_by_slot_.size() && live_by_slot_[slot] == id;
+  }
+
   void SkipCancelled() {
-    while (!heap_.empty()) {
-      const auto it = cancelled_.find(heap_.top().id);
-      if (it == cancelled_.end()) return;
-      cancelled_.erase(it);
-      heap_.pop();
-    }
+    while (!heap_.empty() && !IsLive(heap_.top().id)) heap_.pop();
   }
 
   std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                       std::greater<HeapEntry>>
       heap_;
-  std::unordered_set<EventId> live_;
-  std::unordered_set<EventId> cancelled_;
+  // Indexed by EventSlotOf(id): the live id occupying that slot, or 0.
+  std::vector<EventId> live_by_slot_;
+  std::size_t size_ = 0;
 };
 
 struct SetEntry {
@@ -133,7 +141,10 @@ class CalendarEventQueue final : public EventQueue {
  public:
   CalendarEventQueue(std::size_t buckets, double width)
       : width_(width), buckets_(buckets) {
-    Require(buckets >= 1 && width > 0.0, "calendar queue parameters invalid");
+    Require(buckets >= 1,
+            "calendar queue needs at least one bucket (initial_buckets >= 1)");
+    Require(width > 0.0 && std::isfinite(width),
+            "calendar queue bucket_width must be positive and finite");
   }
 
   void Push(double time, EventId id) override {

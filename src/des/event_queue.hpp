@@ -7,7 +7,9 @@
 //
 // Three interchangeable structures are provided; the binary heap is the
 // default, the others exist for the scheduling-structure ablation bench:
-//   * BinaryHeapEventQueue — lazy-deletion d-ary (d=2) heap, O(log n).
+//   * BinaryHeapEventQueue — lazy-deletion d-ary (d=2) heap, O(log n);
+//     cancellation is O(1) via a slot-indexed liveness vector (no
+//     hashing — see the EventId layout notes below).
 //   * SortedListEventQueue — std::multiset, O(log n) with bigger constants,
 //     but supports eager cancellation.
 //   * CalendarEventQueue   — classic Brown calendar queue, amortized O(1)
@@ -22,6 +24,27 @@
 namespace wsn::des {
 
 using EventId = std::uint64_t;
+
+/// EventId bit layout (shared contract between the kernel and the
+/// queues): the low kEventSlotBits address the kernel's event-record
+/// slab slot, the high bits carry a monotonically increasing schedule
+/// sequence number.  Two consequences the queues rely on:
+///   * ids are strictly increasing in schedule order (FIFO tie-break
+///     stays a plain integer comparison), and
+///   * at any instant, no two *live* ids share the same low-bit slot —
+///     which lets the binary heap keep an O(1), hash-free cancellation
+///     index addressed by slot (stale entries from a reused slot fail
+///     the full-id equality check).
+/// Standalone users of the queues (tests, ablations) satisfy the slot
+/// rule automatically as long as their ids are unique, nonzero (0 is the
+/// reserved "no event" id) and below 2^24.
+inline constexpr unsigned kEventSlotBits = 24;
+inline constexpr EventId kEventSlotMask = (EventId{1} << kEventSlotBits) - 1;
+
+/// Slab slot addressed by an id.
+constexpr std::size_t EventSlotOf(EventId id) noexcept {
+  return static_cast<std::size_t>(id & kEventSlotMask);
+}
 
 /// One scheduled entry as seen by the kernel.
 struct QueuedEvent {
@@ -59,6 +82,8 @@ class EventQueue {
 
 std::unique_ptr<EventQueue> MakeBinaryHeapQueue();
 std::unique_ptr<EventQueue> MakeSortedListQueue();
+/// Throws InvalidArgument unless initial_buckets >= 1 and bucket_width
+/// is positive and finite.
 std::unique_ptr<EventQueue> MakeCalendarQueue(std::size_t initial_buckets = 64,
                                               double bucket_width = 0.1);
 

@@ -6,14 +6,48 @@ namespace wsn::des {
 
 using util::Require;
 
+namespace {
+
+// The sequence field occupies the bits above the slot; leaving headroom
+// of one bit keeps (seq << kEventSlotBits) from ever overflowing.
+constexpr std::uint64_t kMaxSequence =
+    (std::uint64_t{1} << (64 - kEventSlotBits - 1)) - 1;
+
+}  // namespace
+
 Simulator::Simulator(QueueKind queue_kind) : queue_(MakeQueue(queue_kind)) {}
+
+std::uint32_t Simulator::AcquireSlot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slab_[slot].next_free;
+    return slot;
+  }
+  Require(slab_.size() < kEventSlotMask,
+          "event slab exhausted (too many simultaneously pending events)");
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulator::ReleaseSlot(std::uint32_t slot) {
+  EventRecord& rec = slab_[slot];
+  rec.action.Reset();
+  rec.id = 0;
+  rec.next_free = free_head_;
+  free_head_ = slot;
+}
 
 EventId Simulator::ScheduleAt(double time, Action action) {
   Require(time >= now_, "cannot schedule into the past");
   Require(static_cast<bool>(action), "event action must be callable");
-  const EventId id = next_id_++;
+  Require(next_seq_ <= kMaxSequence, "event sequence space exhausted");
+  const std::uint32_t slot = AcquireSlot();
+  const EventId id = (next_seq_++ << kEventSlotBits) | slot;
+  EventRecord& rec = slab_[slot];
+  rec.id = id;
+  rec.action = std::move(action);
   queue_->Push(time, id);
-  actions_.emplace(id, std::move(action));
+  ++live_;
   return id;
 }
 
@@ -23,19 +57,30 @@ EventId Simulator::ScheduleAfter(double delay, Action action) {
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (!queue_->Cancel(id)) return false;
-  actions_.erase(id);
+  // id 0 is the reserved "no event" handle; without this guard it would
+  // compare equal to a freed record's cleared id field.
+  if (id == 0) return false;
+  const std::size_t slot = EventSlotOf(id);
+  if (slot >= slab_.size() || slab_[slot].id != id) return false;
+  queue_->Cancel(id);
+  ReleaseSlot(static_cast<std::uint32_t>(slot));
+  --live_;
   return true;
 }
 
 bool Simulator::Step() {
-  if (queue_->Empty()) return false;
+  if (live_ == 0) return false;
   const QueuedEvent e = queue_->PopMin();
   now_ = e.time;
-  const auto it = actions_.find(e.id);
-  Require(it != actions_.end(), "internal: event without action");
-  Action action = std::move(it->second);
-  actions_.erase(it);
+  const std::size_t slot = EventSlotOf(e.id);
+  Require(slot < slab_.size() && slab_[slot].id == e.id,
+          "internal: stale event surfaced from the queue");
+  // Move the action out and recycle the slot *before* invoking, so the
+  // callback can schedule (possibly into this very slot) and the new
+  // occupant's id — with a fresh sequence — can never alias the old one.
+  Action action = std::move(slab_[slot].action);
+  ReleaseSlot(static_cast<std::uint32_t>(slot));
+  --live_;
   ++processed_;
   action();
   return true;
@@ -43,7 +88,7 @@ bool Simulator::Step() {
 
 void Simulator::RunUntil(double until) {
   Require(until >= now_, "horizon is in the past");
-  while (!queue_->Empty() && queue_->PeekMin().time <= until) {
+  while (live_ > 0 && queue_->PeekMin().time <= until) {
     Step();
   }
   now_ = until;

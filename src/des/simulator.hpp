@@ -4,21 +4,31 @@
 // happens one level up (util::ParallelFor over replications, each with a
 // jump-separated RNG stream), which keeps the kernel free of locks and the
 // results bit-reproducible for a given (seed, replication) pair.
+//
+// Event storage is a generation-checked slab: each pending event occupies
+// one slot of a free-list-recycled vector, its callback embedded inline
+// via the small-buffer-optimized InlineAction — so the schedule/fire/cancel
+// cycle performs no per-event heap allocation and no hashing.  An EventId
+// packs (sequence << kEventSlotBits) | slot: the sequence keeps ids
+// strictly monotone (the queues' FIFO tie-break), while the full-id
+// equality check against the slot's current occupant makes Cancel O(1)
+// and generation-safe — a handle from a previous occupant of a reused
+// slot can never cancel (or observe) its successor.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
+#include "des/action.hpp"
 #include "des/event_queue.hpp"
 
 namespace wsn::des {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   explicit Simulator(QueueKind queue_kind = QueueKind::kBinaryHeap);
 
@@ -32,7 +42,8 @@ class Simulator {
   EventId ScheduleAfter(double delay, Action action);
 
   /// Cancel a pending event.  Returns false if it already fired or was
-  /// already cancelled.
+  /// already cancelled (including when its slot has been reused by a
+  /// later event).
   bool Cancel(EventId id);
 
   /// Fire the next event.  Returns false when no events remain.
@@ -49,15 +60,35 @@ class Simulator {
   /// Number of events fired so far.
   std::uint64_t ProcessedEvents() const noexcept { return processed_; }
 
-  /// Live (pending, uncancelled) events.
-  std::size_t PendingEvents() const noexcept { return queue_->Size(); }
+  /// Live (pending, uncancelled) events.  Counted by the kernel itself,
+  /// so the number is exact even while a lazy-deletion queue still holds
+  /// cancelled-but-unpopped entries.
+  std::size_t PendingEvents() const noexcept { return live_; }
+
+  /// High-water slot count of the event-record slab (diagnostics: the
+  /// peak number of simultaneously pending events this kernel has seen).
+  std::size_t SlabSlots() const noexcept { return slab_.size(); }
 
  private:
+  struct EventRecord {
+    InlineAction action;
+    EventId id = 0;  ///< full id of the occupant; 0 while on the free list
+    std::uint32_t next_free = kNoFreeSlot;
+  };
+
+  static constexpr std::uint32_t kNoFreeSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t AcquireSlot();
+  void ReleaseSlot(std::uint32_t slot);
+
   std::unique_ptr<EventQueue> queue_;
-  std::unordered_map<EventId, Action> actions_;
+  std::vector<EventRecord> slab_;
+  std::uint32_t free_head_ = kNoFreeSlot;
   double now_ = 0.0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
 };
 
 }  // namespace wsn::des

@@ -51,6 +51,11 @@ class CsrMatrix {
   /// y = A x.
   std::vector<double> Apply(const std::vector<double>& x) const;
 
+  /// y = A x into a caller-provided buffer (resized to Rows()) — the
+  /// allocation-free form iterative hot loops (e.g. the incremental
+  /// uniformization solver) call once per series term.
+  void ApplyInto(const std::vector<double>& x, std::vector<double>& y) const;
+
   /// y = A^T x.
   std::vector<double> ApplyTransposed(const std::vector<double>& x) const;
 

@@ -4,6 +4,7 @@
 
 #include "linalg/iterative.hpp"
 #include "linalg/lu.hpp"
+#include "markov/transient_solver.hpp"
 #include "util/error.hpp"
 
 namespace wsn::markov {
@@ -61,6 +62,22 @@ linalg::CsrMatrix Ctmc::SparseGenerator() const {
   return linalg::CsrMatrix(coo);
 }
 
+linalg::CsrMatrix Ctmc::SparseGeneratorTransposed() const {
+  const std::size_t n = labels_.size();
+  linalg::CooBuilder coo(n, n);
+  for (const Edge& e : edges_) {
+    coo.Add(e.to, e.from, e.rate);
+    coo.Add(e.from, e.from, -e.rate);
+  }
+  return linalg::CsrMatrix(coo);
+}
+
+std::vector<double> Ctmc::ExitRates() const {
+  std::vector<double> exit(labels_.size(), 0.0);
+  for (const Edge& e : edges_) exit[e.from] += e.rate;
+  return exit;
+}
+
 std::vector<double> Ctmc::StationaryDistribution(
     std::size_t dense_threshold) const {
   const std::size_t n = labels_.size();
@@ -86,47 +103,11 @@ std::vector<double> Ctmc::TransientDistribution(const std::vector<double>& p0,
   Require(p0.size() == n, "initial distribution dimension mismatch");
   Require(t >= 0.0, "time must be >= 0");
   if (t == 0.0 || edges_.empty()) return p0;
-
-  // Uniformization: P(t) = sum_k e^{-Lt} (Lt)^k / k! * p0 P^k,
-  // with P = I + Q / L, L >= max exit rate.
-  double max_exit = 0.0;
-  std::vector<double> exit(n, 0.0);
-  for (const Edge& e : edges_) exit[e.from] += e.rate;
-  for (double x : exit) max_exit = std::max(max_exit, x);
-  const double big_lambda = max_exit * 1.02 + 1e-12;
-  const linalg::CsrMatrix q = SparseGenerator();
-
-  const double lt = big_lambda * t;
-  // Truncation point: continue until cumulative Poisson weight >= 1-eps.
-  std::vector<double> v = p0;          // p0 P^k as k grows
-  std::vector<double> acc(n, 0.0);
-
-  // Stable Poisson recurrence with scaling: w_0 = e^{-lt}.  For very large
-  // lt we start from log-space.
-  double log_w = -lt;
-  double cumulative = 0.0;
-  std::size_t k = 0;
-  const std::size_t k_max = static_cast<std::size_t>(lt + 10.0 * std::sqrt(lt) + 50.0);
-  while (cumulative < 1.0 - epsilon && k <= k_max) {
-    const double w = std::exp(log_w);
-    if (w > 0.0) {
-      for (std::size_t i = 0; i < n; ++i) acc[i] += w * v[i];
-      cumulative += w;
-    }
-    // v <- v P = v + (Q^T v)/L.
-    std::vector<double> qt_v = q.ApplyTransposed(v);
-    for (std::size_t i = 0; i < n; ++i) v[i] += qt_v[i] / big_lambda;
-    ++k;
-    log_w += std::log(lt) - std::log(static_cast<double>(k));
-  }
-  // Fold remaining mass into the last computed vector (small by choice
-  // of k_max) and renormalize.
-  double sum = 0.0;
-  for (double x : acc) sum += x;
-  if (sum > 0.0) {
-    for (double& x : acc) x /= sum;
-  }
-  return acc;
+  // Single-shot front door over the incremental solver: one checkpoint
+  // step from 0 to t.  Callers with many time points should hold a
+  // TransientSolver themselves and advance it (see transient_solver.hpp).
+  TransientSolver solver(*this, p0, epsilon);
+  return solver.AdvanceTo(t);
 }
 
 double Ctmc::StationaryReward(const std::vector<double>& reward,

@@ -41,6 +41,15 @@ class Ctmc {
   /// Sparse generator.
   linalg::CsrMatrix SparseGenerator() const;
 
+  /// Sparse transposed generator Q^T.  Row i holds the inflow rates into
+  /// state i, so p' = Q^T p is a cache-friendly row-major gather — the
+  /// form the uniformization solver iterates millions of times.
+  linalg::CsrMatrix SparseGeneratorTransposed() const;
+
+  /// Exit rate of every state in one O(edges) pass (ExitRate(i) per
+  /// state would be O(states * edges)).
+  std::vector<double> ExitRates() const;
+
   /// Stationary distribution.  Uses dense LU for chains up to
   /// `dense_threshold` states, Gauss–Seidel beyond.  Throws ModelError if
   /// the chain has no transitions or the solve fails.
@@ -48,7 +57,10 @@ class Ctmc {
       std::size_t dense_threshold = 512) const;
 
   /// Transient distribution at time t from initial distribution p0, via
-  /// uniformization with truncation error below `epsilon`.
+  /// uniformization with truncation error below `epsilon`.  One-shot:
+  /// callers evaluating many time points should hold a TransientSolver
+  /// (transient_solver.hpp), which precomputes the generator once and
+  /// advances incrementally.
   std::vector<double> TransientDistribution(const std::vector<double>& p0,
                                             double t,
                                             double epsilon = 1e-10) const;

@@ -1,5 +1,9 @@
 #include "markov/transient.hpp"
 
+#include <algorithm>
+#include <numeric>
+
+#include "markov/transient_solver.hpp"
 #include "util/error.hpp"
 
 namespace wsn::markov {
@@ -33,15 +37,32 @@ TransientPoint TransientCpuAnalysis::SharesFrom(
 
 TransientPoint TransientCpuAnalysis::At(double t) const {
   Require(t >= 0.0, "time must be >= 0");
-  return SharesFrom(chain_.TransientDistribution(InitialDistribution(), t),
-                    t);
+  TransientSolver solver(chain_, InitialDistribution());
+  return SharesFrom(solver.AdvanceTo(t), t);
 }
 
 std::vector<TransientPoint> TransientCpuAnalysis::Trajectory(
     const std::vector<double>& times) const {
-  std::vector<TransientPoint> out;
-  out.reserve(times.size());
-  for (double t : times) out.push_back(At(t));
+  for (double t : times) {
+    Require(t >= 0.0, "trajectory times must be >= 0");
+  }
+  std::vector<TransientPoint> out(times.size());
+  if (times.empty()) return out;
+
+  // The incremental solver consumes times in ascending order; evaluate a
+  // sorted view and scatter results back to the input's positions.
+  std::vector<std::size_t> order(times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (!std::is_sorted(times.begin(), times.end())) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return times[a] < times[b];
+    });
+  }
+
+  TransientSolver solver(chain_, InitialDistribution());
+  for (std::size_t idx : order) {
+    out[idx] = SharesFrom(solver.AdvanceTo(times[idx]), times[idx]);
+  }
   return out;
 }
 
@@ -52,18 +73,21 @@ double TransientCpuAnalysis::CumulativeEnergyJoules(
   Require(grid_points >= 2, "need at least two grid points");
   if (t == 0.0) return 0.0;
 
-  auto power_mw = [&](double at) {
-    const TransientPoint p = At(at);
+  TransientSolver solver(chain_, InitialDistribution());
+  const auto power_mw = [&](double at) {
+    const TransientPoint p = SharesFrom(solver.AdvanceTo(at), at);
     return p.p_standby * standby_mw + p.p_powerup * powerup_mw +
            p.p_idle * idle_mw + p.p_active * active_mw;
   };
 
-  // Trapezoid rule over an even grid.
+  // Trapezoid rule over an even grid, visited in one ascending solver
+  // pass: the whole integral costs one uniformization series over [0, t].
   const double h = t / static_cast<double>(grid_points - 1);
-  double acc = 0.5 * (power_mw(0.0) + power_mw(t));
+  double acc = 0.5 * power_mw(0.0);
   for (std::size_t i = 1; i + 1 < grid_points; ++i) {
     acc += power_mw(h * static_cast<double>(i));
   }
+  acc += 0.5 * power_mw(t);
   return acc * h / 1000.0;  // mW * s -> J
 }
 

@@ -37,13 +37,18 @@ class TransientCpuAnalysis {
   /// Shares at time `t` (>= 0).
   TransientPoint At(double t) const;
 
-  /// Shares along a time grid (one uniformization run per point).
+  /// Shares along a time grid, answered by ONE incremental uniformization
+  /// pass (markov::TransientSolver) instead of a full series per point.
+  /// Every entry must be >= 0 (throws InvalidArgument otherwise); the
+  /// grid need not be sorted — unsorted input is evaluated in ascending
+  /// order internally and results are returned in the input's order.
   std::vector<TransientPoint> Trajectory(
       const std::vector<double>& times) const;
 
   /// Expected cumulative energy (joules) over [0, t] given per-state
   /// draws in mW, via trapezoidal integration of the transient power on
-  /// `grid_points` points.
+  /// `grid_points` points — a single incremental solver pass over the
+  /// grid, O(points) series work rather than O(points^2).
   double CumulativeEnergyJoules(double t, double standby_mw,
                                 double powerup_mw, double idle_mw,
                                 double active_mw,

@@ -67,6 +67,16 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
     }
   }
   alive_.assign(n, true);
+
+  if (config_.timeline_interval_s > 0.0) {
+    // One sample per tick plus the closing sample appended at the end of
+    // the run — sized up front so the hot loop never reallocates.
+    const std::size_t samples =
+        static_cast<std::size_t>(config_.horizon_s /
+                                 config_.timeline_interval_s) +
+        2;
+    for (NodeRt& node : nodes_) node.stats.timeline.reserve(samples);
+  }
 }
 
 NetSimReport NetworkSimulator::Run() {
@@ -152,16 +162,20 @@ void NetworkSimulator::Enqueue(std::size_t i, const Packet& pkt) {
 void NetworkSimulator::StartNext(std::size_t i) {
   NodeRt& node = nodes_[i];
   if (stopped_ || !node.alive || node.busy) return;
-  // A partitioned holder sheds its backlog immediately.
-  while (!node.queue.empty() &&
-         routing_.NextHop(i) == RoutingTable::kNoRoute) {
-    DropPacket(i, DropReason::kNoRoute);
-    node.queue.pop_front();
-  }
   if (node.queue.empty()) return;
+  // The next hop is queried once: the routing table can only change when
+  // a death recomputes it, never inside this function.  A partitioned
+  // holder therefore sheds its whole backlog immediately.
+  const std::size_t receiver = routing_.NextHop(i);
+  if (receiver == RoutingTable::kNoRoute) {
+    while (!node.queue.empty()) {
+      DropPacket(i, DropReason::kNoRoute);
+      node.queue.pop_front();
+    }
+    return;
+  }
   node.busy = true;
   const Packet& pkt = node.queue.front();
-  const std::size_t receiver = routing_.NextHop(i);
   const std::size_t mac_receiver = (receiver == RoutingTable::kSink)
                                        ? DutyCycledMac::kSinkReceiver
                                        : receiver;

@@ -19,6 +19,12 @@
 // One Simulator = one replication, single-threaded and bit-reproducible
 // for a given (seed, replication) pair; parallelism happens one level up
 // in netsim/replication.hpp, mirroring the DES kernel's design.
+//
+// Hot-path notes: every event callback here captures at most (this, node
+// index), so all closures live inline in the kernel's recycled event-
+// record slab (no per-packet heap allocation — see des/action.hpp); the
+// per-node next hop is read once per transmission opportunity, not once
+// per shed packet; and per-node timeline buffers are reserved up front.
 #pragma once
 
 #include <cstddef>

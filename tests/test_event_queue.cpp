@@ -2,7 +2,9 @@
 // cancellation, and cross-implementation equivalence on random workloads.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "des/event_queue.hpp"
@@ -63,6 +65,15 @@ TEST_P(EventQueueContract, CancelUnknownReturnsFalse) {
   q->Push(1.0, 1);
   EXPECT_FALSE(q->Cancel(99));
   EXPECT_EQ(q->Size(), 1u);
+}
+
+TEST_P(EventQueueContract, CancelReservedNullIdReturnsFalse) {
+  auto q = GetParam()();
+  q->Push(1.0, 1);
+  EXPECT_FALSE(q->Cancel(0));
+  EXPECT_EQ(q->Size(), 1u);
+  EXPECT_EQ(q->PopMin().id, 1u);
+  EXPECT_FALSE(q->Cancel(0));  // nor after the slot's occupant is gone
 }
 
 TEST_P(EventQueueContract, DoubleCancelReturnsFalse) {
@@ -139,6 +150,31 @@ TEST(EventQueueEquivalence, AllImplementationsAgreeOnMixedOps) {
     }
     ASSERT_EQ(a->Size(), b->Size());
     ASSERT_EQ(a->Size(), c->Size());
+  }
+}
+
+TEST(CalendarQueueValidation, RejectsInvalidConstruction) {
+  EXPECT_THROW(MakeCalendarQueue(0, 0.1), util::InvalidArgument);
+  EXPECT_THROW(MakeCalendarQueue(64, 0.0), util::InvalidArgument);
+  EXPECT_THROW(MakeCalendarQueue(64, -1.0), util::InvalidArgument);
+  EXPECT_THROW(
+      MakeCalendarQueue(64, std::numeric_limits<double>::infinity()),
+      util::InvalidArgument);
+  EXPECT_NO_THROW(MakeCalendarQueue(1, 0.5));
+}
+
+TEST(CalendarQueueValidation, ErrorsNameTheOffendingParameter) {
+  try {
+    MakeCalendarQueue(0, 0.1);
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("bucket"), std::string::npos);
+  }
+  try {
+    MakeCalendarQueue(64, 0.0);
+    FAIL() << "expected InvalidArgument";
+  } catch (const util::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("bucket_width"), std::string::npos);
   }
 }
 

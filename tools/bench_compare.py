@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files produced by the scenario engine.
+
+Stub comparator for the perf trajectory: loads two scenario-JSON
+documents (``wsnctl run bench-hotpath --format=json``), matches tables by
+name and rows by their first cell, and prints per-cell deltas for every
+numeric column.  Exit code 0 always — this tool reports, it does not
+gate; wire thresholds into CI once enough history exists.
+
+Usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
+"""
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    tables = {}
+    for table in doc.get("tables", []):
+        headers = table.get("headers", [])
+        rows = {row[0]: row for row in table.get("rows", []) if row}
+        tables[table.get("name", "?")] = (headers, rows)
+    return tables
+
+
+def as_float(cell):
+    try:
+        return float(str(cell).replace(",", ""))
+    except ValueError:
+        return None
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline, candidate = load(argv[1]), load(argv[2])
+
+    for name in sorted(set(baseline) | set(candidate)):
+        if name not in baseline or name not in candidate:
+            where = "baseline" if name in baseline else "candidate"
+            print(f"table {name!r}: only in {where}")
+            continue
+        headers, base_rows = baseline[name]
+        _, cand_rows = candidate[name]
+        print(f"table {name!r}:")
+        for key in base_rows:
+            if key not in cand_rows:
+                print(f"  row {key!r}: missing from candidate")
+                continue
+            for col, (b, c) in enumerate(zip(base_rows[key], cand_rows[key])):
+                fb, fc = as_float(b), as_float(c)
+                if fb is None or fc is None or fb == fc:
+                    continue
+                pct = (fc - fb) / fb * 100.0 if fb else float("inf")
+                label = headers[col] if col < len(headers) else f"col{col}"
+                print(f"  {key} / {label}: {fb:g} -> {fc:g} ({pct:+.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
