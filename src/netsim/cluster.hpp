@@ -1,0 +1,233 @@
+/// \file
+/// Heterogeneous node classes and cluster-based data collection for the
+/// packet-level network simulator.
+///
+/// Two orthogonal extensions of the flat, homogeneous simulator live
+/// here:
+///
+///   * **Named hardware profiles** (NodeClass): per-node TX/RX/idle
+///     radio powers, duty cycle and battery capacity, resolved by name
+///     so deployments mix e.g. a few line-powered "advanced" nodes into
+///     a field of coin-cell "standard" ones (SEP-style heterogeneity).
+///
+///   * **Clustered routing** (ClusteringProtocol): instead of greedy
+///     multi-hop routing, member nodes transmit one hop to an elected
+///     cluster head, which aggregates several member payloads into one
+///     upstream packet toward the nearest sink.  The protocol interface
+///     is pluggable; a LEACH-style rotating election and a static-head
+///     baseline ship in-tree, and network lifetime becomes a function
+///     of *policy*, not just energy bookkeeping — the property the
+///     `cluster-ablation` scenario studies.
+///
+/// Protocols are deterministic: elections consume the replication's own
+/// RNG stream in node-index order, so clustered runs keep the simulator's
+/// byte-identical-per-(seed, replication) guarantee.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/radio.hpp"
+#include "util/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace wsn::netsim {
+
+/// A named hardware profile a node can be instantiated from.
+///
+/// The simulator's template node (NetSimConfig::network.node) supplies
+/// everything a class does not override: CPU model and workload, sample
+/// size, report fraction.  A class overrides the energy-defining parts —
+/// radio powers, idle (listen/sleep) behaviour and battery.
+struct NodeClass {
+  std::string name;                 ///< registry key, e.g. "standard"
+  double battery_mah = 2500.0;      ///< battery capacity (mAh), > 0
+  double battery_volts = 3.0;       ///< battery voltage (V), > 0
+  energy::RadioParameters radio;    ///< TX/RX/listen/sleep powers
+  double listen_duty_cycle = 0.01;  ///< idle-listen fraction in [0, 1]
+
+  /// Throws util::InvalidArgument on empty name, non-positive battery
+  /// capacity/voltage, or a duty cycle outside [0, 1].
+  void Validate() const;
+};
+
+/// Read-only view of the deployment a ClusteringProtocol sees at
+/// election time.  All vectors are indexed by node and owned by the
+/// simulator; the view is valid only for the duration of the call.
+struct ClusterView {
+  const std::vector<node::Position>* positions = nullptr;  ///< node sites
+  const std::vector<node::Position>* sinks = nullptr;      ///< sink sites
+  const std::vector<bool>* alive = nullptr;                ///< liveness mask
+  /// Remaining battery fraction per node in [0, 1] (0 for dead nodes).
+  const std::vector<double>* energy_fraction = nullptr;
+
+  /// Number of nodes in the deployment.
+  std::size_t Size() const noexcept { return positions->size(); }
+};
+
+/// Result of one election: every node's cluster head.
+struct ClusterAssignment {
+  /// Sentinel: the node has no live cluster head (it is unclustered and
+  /// cannot report until a later election repairs the cluster).
+  static constexpr std::size_t kUnclustered = static_cast<std::size_t>(-1);
+
+  /// head_of[i] is the cluster head serving node i: i itself when node i
+  /// is a head, kUnclustered when no live head exists.  Dead nodes are
+  /// kUnclustered.
+  std::vector<std::size_t> head_of;
+
+  /// Sorted indices of the elected heads (alive by construction).
+  std::vector<std::size_t> heads;
+
+  /// True when node i is one of the elected heads.
+  bool IsHead(std::size_t i) const noexcept {
+    return i < head_of.size() && head_of[i] == i;
+  }
+};
+
+/// Strategy interface: how cluster heads are chosen and when they rotate.
+///
+/// One protocol instance serves one replication (constructed per
+/// replication by NetSimConfig::ClusterConfig::factory, so it may keep
+/// per-round state such as LEACH's eligibility window).  Elect runs at
+/// every round boundary; Repair runs after a cluster-head death inside a
+/// round.  Both must be deterministic functions of (view, rng state).
+class ClusteringProtocol {
+ public:
+  virtual ~ClusteringProtocol() = default;
+
+  /// Protocol name for reports ("leach", "static").
+  virtual const char* Name() const noexcept = 0;
+
+  /// Choose heads for round `round` (0-based) over the alive nodes in
+  /// `view` and assign every other alive node to a head.  Draws from
+  /// `rng` in node-index order only.
+  virtual ClusterAssignment Elect(std::size_t round, const ClusterView& view,
+                                  util::Rng& rng) = 0;
+
+  /// React to a mid-round cluster-head death.  The default keeps the
+  /// surviving heads of `current` and re-attaches members to the nearest
+  /// one; when no head survives it falls back to a fresh Elect for the
+  /// same round.  Protocols that must not replace dead heads (the static
+  /// baseline) override this.
+  virtual ClusterAssignment Repair(const ClusterAssignment& current,
+                                   std::size_t round, const ClusterView& view,
+                                   util::Rng& rng);
+};
+
+/// Attach every alive non-head node in `view` to the nearest alive head
+/// in `heads` (Euclidean; ties break toward the lowest head index).
+/// Nodes stay kUnclustered when `heads` is empty.  Shared by the in-tree
+/// protocols and available to out-of-tree ones.
+ClusterAssignment AssignToNearestHead(const ClusterView& view,
+                                      std::vector<std::size_t> heads);
+
+/// LEACH-style rotating election (Heinzelman et al.): each round, every
+/// alive node that has not served as head within the last 1/p rounds
+/// volunteers with probability T(r) = p / (1 - p * (r mod 1/p)).  When no
+/// node volunteers, the alive node with the highest remaining energy
+/// fraction is drafted, so a live network always has a head.
+class LeachClustering final : public ClusteringProtocol {
+ public:
+  /// `head_fraction` is LEACH's p, the desired fraction of heads per
+  /// round, in (0, 1].
+  explicit LeachClustering(double head_fraction);
+
+  const char* Name() const noexcept override { return "leach"; }
+  ClusterAssignment Elect(std::size_t round, const ClusterView& view,
+                          util::Rng& rng) override;
+
+ private:
+  double p_;
+  std::size_t epoch_;  ///< rounds per rotation window, ceil(1/p)
+  /// Round each node last served as head; kNever when it has not yet.
+  std::vector<std::size_t> last_head_round_;
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+};
+
+/// Static baseline: `head_count` heads are picked once (index-strided
+/// across the deployment, a deterministic stand-in for planned
+/// placement) and never rotate.  Members re-attach to surviving heads as
+/// heads die; when the last head dies the network stays unclustered —
+/// exactly the failure mode rotation exists to avoid.
+class StaticClustering final : public ClusteringProtocol {
+ public:
+  /// `head_count` must be >= 1; it is clamped to the number of alive
+  /// nodes at the first election.
+  explicit StaticClustering(std::size_t head_count);
+
+  const char* Name() const noexcept override { return "static"; }
+  ClusterAssignment Elect(std::size_t round, const ClusterView& view,
+                          util::Rng& rng) override;
+
+  /// Keeps surviving original heads only — a dead static head is never
+  /// replaced.
+  ClusterAssignment Repair(const ClusterAssignment& current, std::size_t round,
+                           const ClusterView& view, util::Rng& rng) override;
+
+ private:
+  std::size_t head_count_;
+  bool chosen_ = false;
+  std::vector<std::size_t> heads_;  ///< the original, never-rotated heads
+};
+
+/// Which in-tree protocol ClusterConfig selects when no factory is set.
+enum class ClusterProtocolKind {
+  kNone,    ///< clustering disabled: flat greedy multi-hop routing
+  kLeach,   ///< LeachClustering(head_fraction)
+  kStatic,  ///< StaticClustering(static_heads or head_fraction * n)
+};
+
+/// Name of an in-tree protocol kind ("none", "leach", "static").
+const char* ClusterProtocolKindName(ClusterProtocolKind kind) noexcept;
+
+/// Parse "none" / "leach" / "static"; throws util::InvalidArgument
+/// otherwise.
+ClusterProtocolKind ParseClusterProtocolKind(const std::string& name);
+
+/// Clustered-collection knobs on NetSimConfig.
+struct ClusterConfig {
+  /// In-tree protocol choice; ignored when `factory` is set.
+  ClusterProtocolKind protocol = ClusterProtocolKind::kNone;
+
+  /// LEACH p / the derived static head count fraction, in (0, 1].
+  double head_fraction = 0.1;
+
+  /// Static-baseline head count; 0 derives ceil(head_fraction * nodes).
+  std::size_t static_heads = 0;
+
+  /// Round length (s): heads rotate and partial aggregates flush at this
+  /// period.  Must be > 0 when clustering is enabled.
+  double round_s = 0.0;
+
+  /// Member payloads folded into one upstream packet at a head (>= 1;
+  /// 1 disables aggregation but keeps clustered routing).
+  std::size_t aggregation = 4;
+
+  /// Bits of an aggregated upstream packet; 0 = the template node's
+  /// sample_bits (i.e. perfect compression to one sample).
+  std::size_t aggregate_bits = 0;
+
+  /// Custom protocol constructor, invoked once per replication (possibly
+  /// from worker threads — pure construction only).  Overrides
+  /// `protocol`.
+  std::function<std::unique_ptr<ClusteringProtocol>()> factory;
+
+  /// True when any protocol (in-tree kind or factory) is configured.
+  bool Enabled() const noexcept {
+    return protocol != ClusterProtocolKind::kNone || factory != nullptr;
+  }
+
+  /// Throws util::InvalidArgument on out-of-range knobs (see fields).
+  void Validate() const;
+
+  /// Instantiate the configured protocol for one replication of
+  /// `node_count` nodes; null when clustering is disabled.
+  std::unique_ptr<ClusteringProtocol> MakeProtocol(
+      std::size_t node_count) const;
+};
+
+}  // namespace wsn::netsim

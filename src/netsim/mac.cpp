@@ -16,9 +16,9 @@ void MacConfig::Validate() const {
   Require(max_queue > 0, "MAC queue capacity must be positive");
 }
 
-DutyCycledMac::DutyCycledMac(MacConfig config, energy::RadioParameters radio,
-                             std::size_t node_count, util::Rng& rng)
-    : config_(config), radio_(radio) {
+DutyCycledMac::DutyCycledMac(MacConfig config, std::size_t node_count,
+                             util::Rng& rng)
+    : config_(config) {
   config_.Validate();
   wake_phase_.resize(node_count, 0.0);
   if (config_.wakeup_interval_s > 0.0) {

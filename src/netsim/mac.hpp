@@ -1,27 +1,28 @@
-// Duty-cycled MAC model for the packet simulator.
-//
-// Timing: every transmission pays a uniform CSMA backoff plus the payload
-// serialization time; with low-power listening enabled
-// (wakeup_interval_s > 0) the sender additionally waits for the
-// receiver's next wake slot (per-node phases are drawn once per
-// replication).  Energy: the per-packet TX/RX costs come straight from
-// the first-order radio model; the duty-cycle listen/sleep baseline is
-// accounted continuously by the node, not here, so the analytic and
-// simulated budgets line up term by term.
-//
-// Losses are modeled per attempt (p_loss) with bounded retransmissions;
-// every attempt pays full TX energy, which is exactly how lossy links
-// erode lifetime in practice.
+/// \file
+/// Duty-cycled MAC model for the packet simulator.
+///
+/// Timing: every transmission pays a uniform CSMA backoff plus the payload
+/// serialization time; with low-power listening enabled
+/// (wakeup_interval_s > 0) the sender additionally waits for the
+/// receiver's next wake slot (per-node phases are drawn once per
+/// replication).  Energy is not accounted here: per-packet TX/RX costs
+/// come from each node's own first-order radio model and the duty-cycle
+/// listen/sleep baseline is drained continuously by the node, so the
+/// analytic and simulated budgets line up term by term.
+///
+/// Losses are modeled per attempt (p_loss) with bounded retransmissions;
+/// every attempt pays full TX energy, which is exactly how lossy links
+/// erode lifetime in practice.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-#include "energy/radio.hpp"
 #include "util/rng.hpp"
 
 namespace wsn::netsim {
 
+/// MAC timing / loss knobs shared by every node of a simulation.
 struct MacConfig {
   double bitrate_bps = 250000.0;    ///< CC2420-class payload rate
   double backoff_window_s = 0.004;  ///< uniform [0, w) CSMA backoff per TX
@@ -30,9 +31,14 @@ struct MacConfig {
   std::size_t max_retries = 3;      ///< extra attempts before dropping
   std::size_t max_queue = 1024;     ///< per-node MAC queue capacity
 
+  /// Throws util::InvalidArgument on non-positive bitrate, negative
+  /// windows/periods, or a loss probability outside [0, 1).
   void Validate() const;
 };
 
+/// Per-transmission timing and loss draws.  Per-packet TX/RX *energy*
+/// lives with each node's own radio model (heterogeneous deployments
+/// have per-node radios), not here.
 class DutyCycledMac {
  public:
   /// Sentinel receiver index for the (always-awake) sink.
@@ -40,9 +46,9 @@ class DutyCycledMac {
 
   /// Draws one wake phase per node from `rng` (consumed deterministically
   /// at replication start).
-  DutyCycledMac(MacConfig config, energy::RadioParameters radio,
-                std::size_t node_count, util::Rng& rng);
+  DutyCycledMac(MacConfig config, std::size_t node_count, util::Rng& rng);
 
+  /// The configuration this MAC was built from.
   const MacConfig& Config() const noexcept { return config_; }
 
   /// Payload serialization time.
@@ -58,16 +64,8 @@ class DutyCycledMac {
   /// Bernoulli(p_loss) draw for one attempt.
   bool AttemptLost(util::Rng& rng) const;
 
-  double TxEnergyJoules(std::size_t bits, double distance_m) const {
-    return radio_.TransmitEnergy(bits, distance_m);
-  }
-  double RxEnergyJoules(std::size_t bits) const {
-    return radio_.ReceiveEnergy(bits);
-  }
-
  private:
   MacConfig config_;
-  energy::RadioModel radio_;
   std::vector<double> wake_phase_;  ///< per-node slot phase in [0, interval)
 };
 

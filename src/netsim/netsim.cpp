@@ -1,6 +1,7 @@
 #include "netsim/netsim.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "energy/energy_model.hpp"
 #include "util/error.hpp"
@@ -9,6 +10,33 @@
 namespace wsn::netsim {
 
 using util::Require;
+
+namespace {
+
+/// Map class name -> index into config.classes; validates uniqueness.
+std::unordered_map<std::string, std::size_t> ClassIndex(
+    const std::vector<NodeClass>& classes) {
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const bool inserted = index.emplace(classes[c].name, c).second;
+    Require(inserted, "duplicate node class name '" + classes[c].name + "'");
+  }
+  return index;
+}
+
+/// Index of node i's class, or size_t(-1) for "use the template".
+std::size_t ClassOf(const NetSimConfig& config,
+                    const std::unordered_map<std::string, std::size_t>& index,
+                    std::size_t i) {
+  if (config.node_class.empty()) return static_cast<std::size_t>(-1);
+  const auto it = index.find(config.node_class[i]);
+  Require(it != index.end(),
+          "unknown node class '" + config.node_class[i] + "'");
+  return it->second;
+}
+
+}  // namespace
 
 void NetSimConfig::Validate() const {
   Require(!positions.empty(), "netsim needs at least one node");
@@ -20,10 +48,49 @@ void NetSimConfig::Validate() const {
   for (double mah : battery_mah_override) {
     Require(mah > 0.0, "battery override entries must be positive");
   }
+  for (const NodeClass& cls : classes) cls.Validate();
+  const auto index = ClassIndex(classes);
+  if (!node_class.empty()) {
+    Require(node_class.size() == positions.size(),
+            "node class names must be empty or one entry per node");
+    Require(!classes.empty(),
+            "per-node class names given but no node classes defined");
+    for (std::size_t i = 0; i < node_class.size(); ++i) {
+      (void)ClassOf(*this, index, i);
+    }
+  }
   mac.Validate();
+  cluster.Validate();
   // Reuse the node-layer validation (duty cycle, sample bits, ...).
   node::SensorNode validator(network.node);
   (void)validator;
+}
+
+std::vector<node::Position> EffectiveSinks(const NetSimConfig& config) {
+  if (!config.sinks.empty()) return config.sinks;
+  return {config.network.sink};
+}
+
+std::vector<node::NodeConfig> PerNodeConfigs(const NetSimConfig& config) {
+  const auto index = ClassIndex(config.classes);
+  std::vector<node::NodeConfig> out;
+  out.reserve(config.positions.size());
+  for (std::size_t i = 0; i < config.positions.size(); ++i) {
+    node::NodeConfig cfg = config.network.node;
+    const std::size_t c = ClassOf(config, index, i);
+    if (c != static_cast<std::size_t>(-1)) {
+      const NodeClass& cls = config.classes[c];
+      cfg.radio = cls.radio;
+      cfg.listen_duty_cycle = cls.listen_duty_cycle;
+      cfg.battery_mah = cls.battery_mah;
+      cfg.battery_volts = cls.battery_volts;
+    }
+    if (!config.battery_mah_override.empty()) {
+      cfg.battery_mah = config.battery_mah_override[i];
+    }
+    out.push_back(cfg);
+  }
+  return out;
 }
 
 double CpuAveragePowerMw(const NetSimConfig& config,
@@ -38,35 +105,42 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
     : config_(std::move(config)),
       sim_(config_.queue_kind),
       rng_(rng),
-      routing_(config_.network.sink, config_.network.max_hop_m,
+      routing_(EffectiveSinks(config_), config_.network.max_hop_m,
                config_.positions),
-      mac_(config_.mac, config_.network.node.radio, config_.positions.size(),
-           rng_) {
+      mac_(config_.mac, config_.positions.size(), rng_) {
   config_.Validate();
   Require(cpu_power_mw >= 0.0, "CPU power must be >= 0");
 
-  const node::NodeConfig& tmpl = config_.network.node;
-  baseline_mw_ = cpu_power_mw +
-                 tmpl.listen_duty_cycle * tmpl.radio.listen_mw +
-                 (1.0 - tmpl.listen_duty_cycle) * tmpl.radio.sleep_mw;
-
+  const std::vector<node::NodeConfig> per_node = PerNodeConfigs(config_);
   const std::size_t n = config_.positions.size();
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const double mah = config_.battery_mah_override.empty()
-                           ? tmpl.battery_mah
-                           : config_.battery_mah_override[i];
-    nodes_.emplace_back(energy::Battery(mah, tmpl.battery_volts));
+    const node::NodeConfig& cfg = per_node[i];
+    nodes_.emplace_back(energy::Battery(cfg.battery_mah, cfg.battery_volts),
+                        energy::RadioModel(cfg.radio));
     NodeRt& node = nodes_.back();
+    node.baseline_mw = cpu_power_mw +
+                       cfg.listen_duty_cycle * cfg.radio.listen_mw +
+                       (1.0 - cfg.listen_duty_cycle) * cfg.radio.sleep_mw;
     if (config_.traffic_factory) {
       node.traffic = config_.traffic_factory(i);
       Require(node.traffic != nullptr, "traffic factory returned null");
     } else {
-      const double rate = tmpl.cpu.arrival_rate * tmpl.report_fraction;
+      const double rate = cfg.cpu.arrival_rate * cfg.report_fraction;
       if (rate > 0.0) node.traffic = des::MakePoissonWorkload(rate);
     }
   }
   alive_.assign(n, true);
+
+  protocol_ = config_.cluster.MakeProtocol(n);
+  if (protocol_ != nullptr) {
+    cluster_next_.assign(n, RoutingTable::kNoRoute);
+    cluster_dist_.assign(n, 0.0);
+    energy_fraction_.assign(n, 1.0);
+    aggregate_bits_ = config_.cluster.aggregate_bits != 0
+                          ? config_.cluster.aggregate_bits
+                          : config_.network.node.sample_bits;
+  }
 
   if (config_.timeline_interval_s > 0.0) {
     // One sample per tick plus the closing sample appended at the end of
@@ -83,6 +157,10 @@ NetSimReport NetworkSimulator::Run() {
   Require(!ran_, "NetworkSimulator::Run is single-shot; make a new instance");
   ran_ = true;
 
+  if (Clustered()) {
+    ElectClusters(/*repair=*/false);  // round 0 election at t = 0
+    sim_.ScheduleAt(config_.cluster.round_s, [this] { RoundTick(); });
+  }
   CheckPartition();  // a deployment can be partitioned from the start
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     ScheduleNextArrival(i);
@@ -117,6 +195,8 @@ NetSimReport NetworkSimulator::Run() {
   report.partition_s = partition_s_;
   report.end_s = end;
   report.events = sim_.ProcessedEvents();
+  report.rounds = rounds_;
+  report.elections = elections_;
   return report;
 }
 
@@ -141,18 +221,24 @@ void NetworkSimulator::OnArrival(std::size_t i) {
   pkt.source = i;
   pkt.created_s = sim_.Now();
   pkt.bits = config_.network.node.sample_bits;
-  Enqueue(i, pkt);
+  if (Clustered() && cluster_.IsHead(i)) {
+    // A head's own sample joins its aggregation buffer directly — no
+    // radio hop from a node to itself.
+    AbsorbAtHead(i, pkt);
+  } else {
+    Enqueue(i, pkt);
+  }
   ScheduleNextArrival(i);
 }
 
 void NetworkSimulator::Enqueue(std::size_t i, const Packet& pkt) {
   NodeRt& node = nodes_[i];
   if (!node.alive) {
-    DropPacket(i, DropReason::kNodeDied);
+    DropPacket(i, DropReason::kNodeDied, pkt.payload);
     return;
   }
   if (node.queue.size() >= mac_.Config().max_queue) {
-    DropPacket(i, DropReason::kQueueOverflow);
+    DropPacket(i, DropReason::kQueueOverflow, pkt.payload);
     return;
   }
   node.queue.push_back(pkt);
@@ -164,12 +250,13 @@ void NetworkSimulator::StartNext(std::size_t i) {
   if (stopped_ || !node.alive || node.busy) return;
   if (node.queue.empty()) return;
   // The next hop is queried once: the routing table can only change when
-  // a death recomputes it, never inside this function.  A partitioned
-  // holder therefore sheds its whole backlog immediately.
-  const std::size_t receiver = routing_.NextHop(i);
+  // a death (or a cluster election) recomputes it, never inside this
+  // function.  A partitioned holder therefore sheds its whole backlog
+  // immediately.
+  const std::size_t receiver = Receiver(i);
   if (receiver == RoutingTable::kNoRoute) {
     while (!node.queue.empty()) {
-      DropPacket(i, DropReason::kNoRoute);
+      DropPacket(i, DropReason::kNoRoute, node.queue.front().payload);
       node.queue.pop_front();
     }
     return;
@@ -192,36 +279,48 @@ void NetworkSimulator::FinishTx(std::size_t i) {
   Packet pkt = node.queue.front();
   node.queue.pop_front();
 
-  const std::size_t receiver = routing_.NextHop(i);
+  const std::size_t receiver = Receiver(i);
   if (receiver == RoutingTable::kNoRoute) {
-    DropPacket(i, DropReason::kNoRoute);
+    DropPacket(i, DropReason::kNoRoute, pkt.payload);
     StartNext(i);
     return;
   }
   // The sender pays for the attempt whatever its fate (this drain may
   // deplete the sender; the in-flight packet still completes the hop).
-  DrainDiscrete(i, mac_.TxEnergyJoules(pkt.bits, routing_.HopDistance(i)));
+  DrainDiscrete(i, node.radio.TransmitEnergy(pkt.bits, HopDistanceOf(i)));
 
   if (receiver != RoutingTable::kSink && !nodes_[receiver].alive) {
-    DropPacket(i, DropReason::kDeadNextHop);
+    DropPacket(i, DropReason::kDeadNextHop, pkt.payload);
   } else if (mac_.AttemptLost(rng_)) {
     if (pkt.retries >= mac_.Config().max_retries) {
-      DropPacket(i, DropReason::kLinkLoss);
+      DropPacket(i, DropReason::kLinkLoss, pkt.payload);
     } else if (nodes_[i].alive) {
       ++counters_.retransmissions;
       ++pkt.retries;
       nodes_[i].queue.push_front(pkt);
     } else {
-      DropPacket(i, DropReason::kNodeDied);
+      DropPacket(i, DropReason::kNodeDied, pkt.payload);
     }
   } else if (receiver == RoutingTable::kSink) {
-    ++counters_.delivered;
-    ++nodes_[pkt.source].stats.delivered;
+    counters_.delivered += pkt.payload;
+    nodes_[pkt.source].stats.delivered += pkt.payload;
+  } else if (Clustered()) {
+    // In clustered mode every node-to-node hand-off lands at a cluster
+    // head, which folds the payload into its aggregation buffer instead
+    // of relaying the packet verbatim.
+    DrainDiscrete(receiver, nodes_[receiver].radio.ReceiveEnergy(pkt.bits));
+    ++counters_.forwarded;
+    ++nodes_[receiver].stats.forwarded;
+    if (nodes_[receiver].alive) {
+      AbsorbAtHead(receiver, pkt);
+    } else {
+      DropPacket(receiver, DropReason::kNodeDied, pkt.payload);
+    }
   } else {
-    DrainDiscrete(receiver, mac_.RxEnergyJoules(pkt.bits));
+    DrainDiscrete(receiver, nodes_[receiver].radio.ReceiveEnergy(pkt.bits));
     pkt.retries = 0;
     if (++pkt.hops > nodes_.size()) {
-      DropPacket(receiver, DropReason::kTtlExceeded);
+      DropPacket(receiver, DropReason::kTtlExceeded, pkt.payload);
     } else {
       ++counters_.forwarded;
       ++nodes_[receiver].stats.forwarded;
@@ -235,7 +334,7 @@ void NetworkSimulator::Touch(std::size_t i, double now) {
   NodeRt& node = nodes_[i];
   const double dt = now - node.last_update_s;
   if (dt > 0.0) {
-    node.battery.Drain(baseline_mw_ * dt / 1000.0);
+    node.battery.Drain(node.baseline_mw * dt / 1000.0);
     node.last_update_s = now;
   }
 }
@@ -258,9 +357,9 @@ void NetworkSimulator::RescheduleDeath(std::size_t i) {
     sim_.Cancel(node.death_event);
     node.death_event = 0;
   }
-  if (baseline_mw_ <= 0.0) return;  // only discrete drains can kill
+  if (node.baseline_mw <= 0.0) return;  // only discrete drains can kill
   const double seconds_left =
-      node.battery.Remaining() / (baseline_mw_ / 1000.0);
+      node.battery.Remaining() / (node.baseline_mw / 1000.0);
   const double when = sim_.Now() + seconds_left;
   if (when > config_.horizon_s) return;  // outlives the horizon
   node.death_event = sim_.ScheduleAt(when, [this, i] {
@@ -281,24 +380,47 @@ void NetworkSimulator::OnDeath(std::size_t i) {
     sim_.Cancel(node.death_event);
     node.death_event = 0;
   }
-  for (std::size_t k = 0; k < node.queue.size(); ++k) {
-    DropPacket(i, DropReason::kNodeDied);
+  for (const Packet& pkt : node.queue) {
+    DropPacket(i, DropReason::kNodeDied, pkt.payload);
   }
   node.queue.clear();
+  if (node.agg_payloads > 0) {
+    // Buffered member payloads die with the head that held them.
+    DropPacket(i, DropReason::kNodeDied, node.agg_payloads);
+    node.agg_payloads = 0;
+  }
   if (first_death_s_ == std::numeric_limits<double>::infinity()) {
     first_death_s_ = sim_.Now();
     first_dead_node_ = i;
     if (config_.stop_at_first_death) Stop();
   }
   if (stopped_) return;
-  if (config_.rerouting) routing_.Recompute(alive_);
+  if (Clustered()) {
+    if (config_.rerouting && cluster_.IsHead(i)) {
+      // Losing a head strands its members: repair the cluster now.
+      ElectClusters(/*repair=*/true);
+    } else {
+      RebuildClusterRoutes();  // at least forget routes through the dead
+    }
+  } else if (config_.rerouting) {
+    routing_.Recompute(alive_);
+  }
   CheckPartition();
 }
 
 void NetworkSimulator::CheckPartition() {
   if (partition_s_ != std::numeric_limits<double>::infinity()) return;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (alive_[i] && !routing_.Connected(i, alive_)) {
+    if (!alive_[i]) continue;
+    bool connected = true;
+    if (Clustered()) {
+      const std::size_t r = cluster_next_[i];
+      connected = r == RoutingTable::kSink ||
+                  (r != RoutingTable::kNoRoute && alive_[r]);
+    } else {
+      connected = routing_.Connected(i, alive_);
+    }
+    if (!connected) {
       partition_s_ = sim_.Now();
       if (config_.stop_at_partition) Stop();
       return;
@@ -306,9 +428,10 @@ void NetworkSimulator::CheckPartition() {
   }
 }
 
-void NetworkSimulator::DropPacket(std::size_t holder, DropReason reason) {
-  counters_.Drop(reason);
-  ++nodes_[holder].stats.dropped;
+void NetworkSimulator::DropPacket(std::size_t holder, DropReason reason,
+                                  std::uint32_t payloads) {
+  counters_.Drop(reason, payloads);
+  nodes_[holder].stats.dropped += payloads;
 }
 
 void NetworkSimulator::TimelineTick() {
@@ -330,6 +453,108 @@ void NetworkSimulator::Stop() {
   if (stopped_) return;
   stopped_ = true;
   stop_time_s_ = sim_.Now();
+}
+
+std::size_t NetworkSimulator::Receiver(std::size_t i) const {
+  return Clustered() ? cluster_next_[i] : routing_.NextHop(i);
+}
+
+double NetworkSimulator::HopDistanceOf(std::size_t i) const {
+  return Clustered() ? cluster_dist_[i] : routing_.HopDistance(i);
+}
+
+void NetworkSimulator::ElectClusters(bool repair) {
+  const double now = sim_.Now();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) {
+      energy_fraction_[i] = 0.0;
+      continue;
+    }
+    Touch(i, now);  // battery levels current at the election instant
+    energy_fraction_[i] =
+        nodes_[i].battery.Remaining() / nodes_[i].battery.CapacityJoules();
+  }
+  ClusterView view;
+  view.positions = &config_.positions;
+  view.sinks = &routing_.Sinks();
+  view.alive = &alive_;
+  view.energy_fraction = &energy_fraction_;
+
+  cluster_ = repair ? protocol_->Repair(cluster_, round_, view, rng_)
+                    : protocol_->Elect(round_, view, rng_);
+  ++elections_;
+  if (!repair) ++rounds_;
+  for (std::size_t h : cluster_.heads) ++nodes_[h].stats.head_elections;
+  RebuildClusterRoutes();
+  // Routes may have appeared (a repaired head) — wake up waiting queues.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive && !nodes_[i].queue.empty()) StartNext(i);
+  }
+}
+
+void NetworkSimulator::RebuildClusterRoutes() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i]) {
+      cluster_next_[i] = RoutingTable::kNoRoute;
+      cluster_dist_[i] = 0.0;
+      continue;
+    }
+    const std::size_t head = i < cluster_.head_of.size()
+                                 ? cluster_.head_of[i]
+                                 : ClusterAssignment::kUnclustered;
+    if (head == i) {
+      // Heads uplink straight to their nearest sink; the routing table
+      // precomputed that distance from the same sink set.
+      cluster_next_[i] = RoutingTable::kSink;
+      cluster_dist_[i] = routing_.DistanceToSink(i);
+    } else if (head != ClusterAssignment::kUnclustered && alive_[head]) {
+      cluster_next_[i] = head;
+      cluster_dist_[i] =
+          node::Distance(config_.positions[i], config_.positions[head]);
+    } else {
+      cluster_next_[i] = RoutingTable::kNoRoute;
+      cluster_dist_[i] = 0.0;
+    }
+  }
+}
+
+void NetworkSimulator::RoundTick() {
+  if (stopped_) return;
+  // Demotion flush: partial aggregates leave under the *new* assignment
+  // (the packets sit in the queue; the receiver is read at TX time).
+  for (std::size_t h : cluster_.heads) {
+    if (nodes_[h].alive) FlushAggregate(h);
+  }
+  ++round_;
+  ElectClusters(/*repair=*/false);
+  CheckPartition();
+  const double next = sim_.Now() + config_.cluster.round_s;
+  if (next <= config_.horizon_s) {
+    sim_.ScheduleAt(next, [this] { RoundTick(); });
+  }
+}
+
+void NetworkSimulator::AbsorbAtHead(std::size_t head, const Packet& pkt) {
+  NodeRt& node = nodes_[head];
+  node.stats.aggregated += pkt.payload;
+  node.agg_payloads += pkt.payload;
+  if (node.agg_payloads >=
+      static_cast<std::uint32_t>(config_.cluster.aggregation)) {
+    FlushAggregate(head);
+  }
+}
+
+void NetworkSimulator::FlushAggregate(std::size_t head) {
+  NodeRt& node = nodes_[head];
+  if (node.agg_payloads == 0) return;
+  Packet agg;
+  agg.id = next_packet_id_++;
+  agg.source = head;
+  agg.created_s = sim_.Now();
+  agg.bits = aggregate_bits_;
+  agg.payload = node.agg_payloads;
+  node.agg_payloads = 0;
+  Enqueue(head, agg);
 }
 
 }  // namespace wsn::netsim

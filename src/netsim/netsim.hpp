@@ -1,30 +1,36 @@
-// Event-driven, packet-level multi-node WSN simulator.
-//
-// This is the dynamic counterpart of the static estimator in
-// wsn::node::Network::Evaluate.  Where the estimator assumes every node
-// drains at a constant average power forever, this simulator generates
-// individual packets (steady Poisson by default, any des::Workload
-// otherwise), routes them hop-by-hop with greedy geographic routing,
-// pays per-packet TX/RX radio energy at each hop, drains a per-node
-// battery continuously at the CPU + duty-cycle listen baseline, and
-// reacts to battery depletion: dead relays trigger re-routing (when
-// enabled) and, eventually, network partition.
-//
-// Energy accounting matches Network::Evaluate term by term (CPU average
-// power from the same core::CpuEnergyModel, identical radio per-packet
-// costs, identical listen/sleep baseline), so with re-routing disabled
-// and steady traffic the simulated time-to-first-death converges to the
-// analytic lifetime — the validation anchor for this subsystem.
-//
-// One Simulator = one replication, single-threaded and bit-reproducible
-// for a given (seed, replication) pair; parallelism happens one level up
-// in netsim/replication.hpp, mirroring the DES kernel's design.
-//
-// Hot-path notes: every event callback here captures at most (this, node
-// index), so all closures live inline in the kernel's recycled event-
-// record slab (no per-packet heap allocation — see des/action.hpp); the
-// per-node next hop is read once per transmission opportunity, not once
-// per shed packet; and per-node timeline buffers are reserved up front.
+/// \file
+/// Event-driven, packet-level multi-node WSN simulator.
+///
+/// This is the dynamic counterpart of the static estimator in
+/// wsn::node::Network::Evaluate.  Where the estimator assumes every node
+/// drains at a constant average power forever, this simulator generates
+/// individual packets (steady Poisson by default, any des::Workload
+/// otherwise), routes them hop-by-hop with greedy geographic routing,
+/// pays per-packet TX/RX radio energy at each hop, drains a per-node
+/// battery continuously at the CPU + duty-cycle listen baseline, and
+/// reacts to battery depletion: dead relays trigger re-routing (when
+/// enabled) and, eventually, network partition.
+///
+/// Energy accounting matches Network::Evaluate term by term (CPU average
+/// power from the same core::CpuEnergyModel, identical radio per-packet
+/// costs, identical listen/sleep baseline), so with re-routing disabled
+/// and steady traffic the simulated time-to-first-death converges to the
+/// analytic lifetime — the validation anchor for this subsystem.
+///
+/// Beyond the flat homogeneous baseline the simulator supports (see
+/// netsim/cluster.hpp): named per-node hardware classes (heterogeneous
+/// radios/batteries), several sinks, and cluster-based collection with
+/// rotating or static head election and in-cluster aggregation.
+///
+/// One Simulator = one replication, single-threaded and bit-reproducible
+/// for a given (seed, replication) pair; parallelism happens one level up
+/// in netsim/replication.hpp, mirroring the DES kernel's design.
+///
+/// Hot-path notes: every event callback here captures at most (this, node
+/// index), so all closures live inline in the kernel's recycled event-
+/// record slab (no per-packet heap allocation — see des/action.hpp); the
+/// per-node next hop is read once per transmission opportunity, not once
+/// per shed packet; and per-node timeline buffers are reserved up front.
 #pragma once
 
 #include <cstddef>
@@ -39,6 +45,7 @@
 #include "des/simulator.hpp"
 #include "des/workload.hpp"
 #include "energy/battery.hpp"
+#include "netsim/cluster.hpp"
 #include "netsim/mac.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/routing.hpp"
@@ -47,26 +54,49 @@
 
 namespace wsn::netsim {
 
+/// Full description of one packet-level simulation: topology, node
+/// hardware (homogeneous template or named classes), traffic, MAC,
+/// routing mode (flat greedy or clustered) and stop conditions.
 struct NetSimConfig {
   /// Node template, sink position and hop range (same struct the static
   /// estimator consumes, so one topology drives both).
   node::NetworkConfig network;
+  /// Node sites; one node per entry.
   std::vector<node::Position> positions;
 
+  /// MAC timing / loss model shared by every node.
   MacConfig mac;
 
   double horizon_s = 1.0e7;  ///< hard simulation stop
-  bool rerouting = true;     ///< recompute routes when a node dies
-  bool stop_at_first_death = false;
-  bool stop_at_partition = false;
+  /// Recompute routes when a node dies (flat mode); in clustered mode
+  /// this gates the repair election after a cluster-head death.
+  bool rerouting = true;
+  bool stop_at_first_death = false;  ///< end the run at the first death
+  bool stop_at_partition = false;    ///< end the run when partitioned
 
   /// Sample every node's remaining energy at this period (0 disables).
   double timeline_interval_s = 0.0;
 
-  /// Per-node battery capacity override (empty = template's battery_mah
-  /// for every node).  Lets tests/benchmarks stage asymmetric deaths.
+  /// Per-node battery capacity override (empty = the node's class or the
+  /// template battery_mah).  Lets tests/benchmarks stage asymmetric
+  /// deaths; takes precedence over node classes.
   std::vector<double> battery_mah_override;
 
+  /// Named hardware profiles nodes can be drawn from.  Empty = every
+  /// node uses the template (homogeneous deployment).
+  std::vector<NodeClass> classes;
+  /// Per-node class name into `classes`; empty = homogeneous.  When
+  /// non-empty it must name a known class for every node.
+  std::vector<std::string> node_class;
+
+  /// Sink sites; empty = the single `network.sink`.  Nodes (and cluster
+  /// heads) route toward their nearest sink.
+  std::vector<node::Position> sinks;
+
+  /// Cluster-based collection; disabled by default (flat greedy routing).
+  ClusterConfig cluster;
+
+  /// Event-queue implementation for the underlying DES kernel.
   des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
 
   /// Per-node generator of *reported* packets.  Null means steady Poisson
@@ -76,36 +106,69 @@ struct NetSimConfig {
   std::function<std::unique_ptr<des::Workload>(std::size_t node)>
       traffic_factory;
 
+  /// Throws util::InvalidArgument on inconsistent topology, unknown or
+  /// invalid node classes, or out-of-range MAC/cluster knobs.
   void Validate() const;
 };
 
+/// The sink set a config implies: `sinks` when non-empty, else the
+/// single `network.sink`.
+std::vector<node::Position> EffectiveSinks(const NetSimConfig& config);
+
+/// Per-node analytic node configurations implied by `config`: the
+/// template with each node's class overrides (radio, duty cycle,
+/// battery) and battery override applied.  This is the bridge to the
+/// static estimator's heterogeneous Network::Evaluate overload for
+/// cross-validation.
+std::vector<node::NodeConfig> PerNodeConfigs(const NetSimConfig& config);
+
+/// One sample of a node's remaining battery energy.
 struct TimelinePoint {
-  double time_s = 0.0;
-  double remaining_j = 0.0;
+  double time_s = 0.0;       ///< sample instant
+  double remaining_j = 0.0;  ///< battery energy left at that instant
 };
 
+/// Per-node outcome of one replication.
 struct NodeSimStats {
   std::uint64_t generated = 0;  ///< packets originated here
   std::uint64_t forwarded = 0;  ///< packets received for relay
-  std::uint64_t delivered = 0;  ///< own packets that reached the sink
-  std::uint64_t dropped = 0;    ///< packets lost while held here
-  double energy_used_j = 0.0;
-  double remaining_j = 0.0;
-  bool alive = true;
+  std::uint64_t delivered = 0;  ///< payloads sent from here that reached a sink
+  std::uint64_t dropped = 0;    ///< payloads lost while held here
+  /// Member payloads absorbed into this node's aggregation buffer while
+  /// it served as a cluster head (0 in flat mode).
+  std::uint64_t aggregated = 0;
+  /// Elections this node won (round boundaries and mid-round repairs;
+  /// 0 in flat mode).
+  std::uint32_t head_elections = 0;
+  double energy_used_j = 0.0;  ///< battery energy spent over the run
+  double remaining_j = 0.0;    ///< battery energy left at the end
+  bool alive = true;           ///< still alive at the end of the run
   /// Death instant; +infinity while alive at the end of the run.
   double death_s = std::numeric_limits<double>::infinity();
+  /// Remaining-energy samples (timeline_interval_s > 0 only).
   std::vector<TimelinePoint> timeline;
 };
 
+/// Network-wide outcome of one replication.
 struct NetSimReport {
-  std::vector<NodeSimStats> nodes;
-  PacketCounters packets;
+  std::vector<NodeSimStats> nodes;  ///< per-node outcomes, by node index
+  PacketCounters packets;           ///< network-wide packet counters
+  /// First node-death instant; +infinity when nothing died.
   double first_death_s = std::numeric_limits<double>::infinity();
+  /// Index of the first node to die; size_t(-1) when nothing died.
   std::size_t first_dead_node = static_cast<std::size_t>(-1);
+  /// First instant an alive node lost its route; +infinity if never.
   double partition_s = std::numeric_limits<double>::infinity();
-  double end_s = 0.0;            ///< horizon or early-stop instant
-  std::uint64_t events = 0;      ///< DES events fired
+  double end_s = 0.0;        ///< horizon or early-stop instant
+  std::uint64_t events = 0;  ///< DES events fired
+  /// Cluster rounds started (boundary elections incl. the initial one;
+  /// 0 in flat mode).
+  std::uint64_t rounds = 0;
+  /// Total protocol invocations: rounds plus mid-round repairs after
+  /// cluster-head deaths (0 in flat mode).
+  std::uint64_t elections = 0;
 
+  /// Payloads delivered / packets generated (1.0 when none generated).
   double DeliveryRatio() const noexcept { return packets.DeliveryRatio(); }
 };
 
@@ -129,15 +192,18 @@ class NetworkSimulator {
  private:
   struct NodeRt {
     energy::Battery battery;
+    energy::RadioModel radio;
+    double baseline_mw = 0.0;  ///< continuous CPU + listen/sleep draw
     double last_update_s = 0.0;
     bool alive = true;
     bool busy = false;  ///< radio TX in progress
     std::deque<Packet> queue;
+    std::uint32_t agg_payloads = 0;  ///< payloads buffered while a head
     des::EventId death_event = 0;
     std::unique_ptr<des::Workload> traffic;
     NodeSimStats stats;
 
-    explicit NodeRt(energy::Battery b) : battery(b) {}
+    NodeRt(energy::Battery b, energy::RadioModel r) : battery(b), radio(r) {}
   };
 
   void ScheduleNextArrival(std::size_t i);
@@ -150,9 +216,20 @@ class NetworkSimulator {
   void RescheduleDeath(std::size_t i);
   void OnDeath(std::size_t i);
   void CheckPartition();
-  void DropPacket(std::size_t holder, DropReason reason);
+  void DropPacket(std::size_t holder, DropReason reason,
+                  std::uint32_t payloads = 1);
   void TimelineTick();
   void Stop();
+
+  // Clustered-mode machinery (no-ops in flat mode).
+  bool Clustered() const noexcept { return protocol_ != nullptr; }
+  std::size_t Receiver(std::size_t i) const;
+  double HopDistanceOf(std::size_t i) const;
+  void ElectClusters(bool repair);
+  void RebuildClusterRoutes();
+  void RoundTick();
+  void AbsorbAtHead(std::size_t head, const Packet& pkt);
+  void FlushAggregate(std::size_t head);
 
   NetSimConfig config_;
   des::Simulator sim_;
@@ -162,7 +239,6 @@ class NetworkSimulator {
   std::vector<NodeRt> nodes_;
   std::vector<bool> alive_;
   PacketCounters counters_;
-  double baseline_mw_ = 0.0;
   std::uint64_t next_packet_id_ = 0;
   double first_death_s_ = std::numeric_limits<double>::infinity();
   std::size_t first_dead_node_ = static_cast<std::size_t>(-1);
@@ -170,6 +246,17 @@ class NetworkSimulator {
   bool stopped_ = false;
   double stop_time_s_ = 0.0;
   bool ran_ = false;
+
+  // Clustered-mode state.
+  std::unique_ptr<ClusteringProtocol> protocol_;  ///< null in flat mode
+  ClusterAssignment cluster_;
+  std::vector<std::size_t> cluster_next_;  ///< per-node receiver sentinel
+  std::vector<double> cluster_dist_;       ///< per-node hop distance (m)
+  std::vector<double> energy_fraction_;    ///< election-time scratch
+  std::size_t round_ = 0;                  ///< current round index
+  std::size_t aggregate_bits_ = 0;         ///< resolved upstream bits
+  std::uint64_t rounds_ = 0;
+  std::uint64_t elections_ = 0;
 };
 
 }  // namespace wsn::netsim

@@ -1,22 +1,34 @@
-// Packet-level bookkeeping for the network simulator: the in-flight
-// packet record, the taxonomy of drop causes, and the global counters a
-// simulation run accumulates.
+/// \file
+/// Packet-level bookkeeping for the network simulator: the in-flight
+/// packet record, the taxonomy of drop causes, and the global counters a
+/// simulation run accumulates.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 
+/// \namespace wsn
+/// Root namespace of the WSN energy-modeling reproduction.
+
+/// \namespace wsn::netsim
+/// Event-driven, packet-level network simulation: packets, MAC, routing,
+/// clustering, heterogeneous node hardware and the replication runner.
+
 namespace wsn::netsim {
 
-/// One application packet travelling hop-by-hop toward the sink.
+/// One packet travelling hop-by-hop toward a sink — either a raw
+/// application sample (payload == 1) or, in clustered mode, an aggregate
+/// a cluster head built from several member samples (payload == the
+/// number of samples folded in).
 struct Packet {
   std::uint64_t id = 0;       ///< unique per replication, in creation order
-  std::size_t source = 0;     ///< originating node index
+  std::size_t source = 0;     ///< originating node index (head for aggregates)
   double created_s = 0.0;     ///< generation time
   std::size_t bits = 0;       ///< payload size (radio energy driver)
   std::uint32_t hops = 0;     ///< hops traversed so far
   std::uint32_t retries = 0;  ///< retransmissions on the current hop
+  std::uint32_t payload = 1;  ///< application samples carried (>= 1)
 };
 
 /// Why a packet failed to reach the sink.
@@ -29,22 +41,31 @@ enum class DropReason : std::size_t {
   kQueueOverflow,  ///< MAC queue was full at enqueue
 };
 
+/// Number of DropReason enumerators (array sizing).
 inline constexpr std::size_t kDropReasonCount = 6;
 
+/// Human-readable name of a drop reason ("no-route", "link-loss", ...).
 const char* DropReasonName(DropReason reason) noexcept;
 
-/// Network-wide packet counters for one replication.
+/// Network-wide packet counters for one replication.  All counters are
+/// in units of application samples: delivering an aggregate that carries
+/// k member samples counts k toward `delivered`, so DeliveryRatio stays
+/// comparable between flat and clustered runs.
 struct PacketCounters {
-  std::uint64_t generated = 0;
-  std::uint64_t delivered = 0;        ///< reached the sink
-  std::uint64_t forwarded = 0;        ///< relay hand-offs (RX at a relay)
+  std::uint64_t generated = 0;        ///< application samples originated
+  std::uint64_t delivered = 0;        ///< samples that reached a sink
+  std::uint64_t forwarded = 0;        ///< relay/head hand-offs (RX events)
   std::uint64_t retransmissions = 0;  ///< extra TX attempts on lossy links
+  /// Samples lost, by DropReason (index with static_cast<size_t>).
   std::array<std::uint64_t, kDropReasonCount> dropped{};
 
+  /// Sum of `dropped` over every reason.
   std::uint64_t TotalDropped() const noexcept;
-  void Drop(DropReason reason) noexcept {
-    ++dropped[static_cast<std::size_t>(reason)];
+  /// Count `payloads` samples lost for `reason`.
+  void Drop(DropReason reason, std::uint64_t payloads = 1) noexcept {
+    dropped[static_cast<std::size_t>(reason)] += payloads;
   }
+  /// Samples lost for `reason`.
   std::uint64_t Dropped(DropReason reason) const noexcept {
     return dropped[static_cast<std::size_t>(reason)];
   }

@@ -1,12 +1,13 @@
-// Independent-replication runner for the packet-level network simulator —
-// a thin client of util::ParallelExecutor.
-//
-// Replication r draws its randomness from the master seed's r-th
-// jump-separated xoshiro stream (ParallelExecutor::MapSeeded), so results
-// are bit-identical for a given (seed, replication) pair no matter how
-// many threads run them or in what order they finish.  Aggregation
-// happens serially after the join, in replication order, so the summary
-// itself is deterministic too.
+/// \file
+/// Independent-replication runner for the packet-level network simulator —
+/// a thin client of util::ParallelExecutor.
+///
+/// Replication r draws its randomness from the master seed's r-th
+/// jump-separated xoshiro stream (ParallelExecutor::MapSeeded), so results
+/// are bit-identical for a given (seed, replication) pair no matter how
+/// many threads run them or in what order they finish.  Aggregation
+/// happens serially after the join, in replication order, so the summary
+/// itself is deterministic too.
 #pragma once
 
 #include <cstddef>
@@ -21,27 +22,29 @@
 
 namespace wsn::netsim {
 
+/// Effort / reproducibility knobs for one replication batch.
 struct ReplicationConfig {
-  std::size_t replications = 32;
-  std::uint64_t seed = 2008;
-  std::size_t threads = 0;  ///< 0 = hardware concurrency
-  double ci_level = 0.95;
-  bool keep_reports = false;  ///< retain every per-replication report
+  std::size_t replications = 32;  ///< independent replications to run
+  std::uint64_t seed = 2008;      ///< master seed the streams jump from
+  std::size_t threads = 0;        ///< 0 = hardware concurrency
+  double ci_level = 0.95;         ///< confidence level of the summaries
+  bool keep_reports = false;      ///< retain every per-replication report
 };
 
 /// A metric observed in (a subset of) the replications.
 struct MetricSummary {
-  util::RunningStats stats;
-  util::ConfidenceInterval ci;
-  std::size_t observed = 0;  ///< replications where the event occurred
+  util::RunningStats stats;      ///< Welford accumulator over observations
+  util::ConfidenceInterval ci;   ///< mean +- half-width at ci_level
+  std::size_t observed = 0;      ///< replications where the event occurred
 };
 
+/// Aggregate outcome of a replication batch.
 struct ReplicationSummary {
   MetricSummary first_death_s;    ///< over reps where a node died
   MetricSummary partition_s;      ///< over reps where a partition occurred
   MetricSummary delivery_ratio;   ///< over all reps
-  MetricSummary delivered;        ///< packets delivered, over all reps
-  std::size_t replications = 0;
+  MetricSummary delivered;        ///< samples delivered, over all reps
+  std::size_t replications = 0;   ///< batch size actually run
   std::vector<NetSimReport> reports;  ///< filled when keep_reports
 };
 

@@ -1,5 +1,8 @@
 #include "netsim/routing.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace wsn::netsim {
@@ -8,15 +11,27 @@ using util::Require;
 
 RoutingTable::RoutingTable(node::Position sink, double max_hop_m,
                            std::vector<node::Position> positions)
-    : sink_(sink), max_hop_m_(max_hop_m), positions_(std::move(positions)) {
+    : RoutingTable(std::vector<node::Position>{sink}, max_hop_m,
+                   std::move(positions)) {}
+
+RoutingTable::RoutingTable(std::vector<node::Position> sinks, double max_hop_m,
+                           std::vector<node::Position> positions)
+    : sinks_(std::move(sinks)),
+      max_hop_m_(max_hop_m),
+      positions_(std::move(positions)) {
   Require(!positions_.empty(), "routing table needs at least one node");
+  Require(!sinks_.empty(), "routing table needs at least one sink");
   Require(max_hop_m_ > 0.0, "hop range must be positive");
   const std::size_t n = positions_.size();
   to_sink_.resize(n);
   next_.assign(n, kNoRoute);
   hop_distance_.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    to_sink_[i] = node::Distance(positions_[i], sink_);
+    double best = std::numeric_limits<double>::infinity();
+    for (const node::Position& sink : sinks_) {
+      best = std::min(best, node::Distance(positions_[i], sink));
+    }
+    to_sink_[i] = best;
   }
   Recompute(std::vector<bool>(n, true));
 }

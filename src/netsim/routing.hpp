@@ -1,13 +1,18 @@
-// Dynamic greedy geographic routing over the live subset of a deployment.
-//
-// This is the event-driven counterpart of wsn::node::Network::NextHop: the
-// same greedy rule (forward to the in-range neighbour strictly closer to
-// the sink that minimizes remaining distance), but restricted to nodes
-// that are still alive, so the table can be recomputed whenever a battery
-// empties.  One deliberate difference from the static estimator: a greedy
-// dead end out of sink range maps to kNoRoute here instead of a
-// direct-to-sink long shot, because the packet simulator must know when
-// the network has partitioned.
+/// \file
+/// Dynamic greedy geographic routing over the live subset of a deployment.
+///
+/// This is the event-driven counterpart of wsn::node::Network::NextHop: the
+/// same greedy rule (forward to the in-range neighbour strictly closer to
+/// the sink that minimizes remaining distance), but restricted to nodes
+/// that are still alive, so the table can be recomputed whenever a battery
+/// empties.  One deliberate difference from the static estimator: a greedy
+/// dead end out of sink range maps to kNoRoute here instead of a
+/// direct-to-sink long shot, because the packet simulator must know when
+/// the network has partitioned.
+///
+/// Deployments may carry several sinks: every node then routes greedily
+/// toward its *nearest* sink (distance-to-sink is the minimum over the
+/// sink set), and delivery at any sink counts.
 #pragma once
 
 #include <cstddef>
@@ -17,16 +22,25 @@
 
 namespace wsn::netsim {
 
+/// Greedy next-hop table over the alive subset of a deployment, with
+/// single- or multi-sink geometry fixed at construction.
 class RoutingTable {
  public:
-  /// NextHop() sentinel: the sink is reachable directly.
+  /// NextHop() sentinel: a sink is reachable directly.
   static constexpr std::size_t kSink = static_cast<std::size_t>(-1);
   /// NextHop() sentinel: no live route exists (dead end or dead node).
   static constexpr std::size_t kNoRoute = static_cast<std::size_t>(-2);
 
+  /// Single-sink table (the common case).
   RoutingTable(node::Position sink, double max_hop_m,
                std::vector<node::Position> positions);
 
+  /// Multi-sink table: each node's distance-to-sink is the minimum over
+  /// `sinks`, which must be non-empty.
+  RoutingTable(std::vector<node::Position> sinks, double max_hop_m,
+               std::vector<node::Position> positions);
+
+  /// Number of nodes routed by this table.
   std::size_t Size() const noexcept { return positions_.size(); }
 
   /// Rebuild every next hop considering only `alive[j]` nodes as relays.
@@ -43,10 +57,15 @@ class RoutingTable {
   /// table goes stale, so the chain is re-checked against `alive` here.
   bool Connected(std::size_t i, const std::vector<bool>& alive) const;
 
+  /// Distance (m) from node i to its nearest sink.
   double DistanceToSink(std::size_t i) const { return to_sink_[i]; }
 
+  /// The sink set this table routes toward (size 1 in the single-sink
+  /// case).
+  const std::vector<node::Position>& Sinks() const noexcept { return sinks_; }
+
  private:
-  node::Position sink_;
+  std::vector<node::Position> sinks_;
   double max_hop_m_;
   std::vector<node::Position> positions_;
   std::vector<double> to_sink_;

@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "util/error.hpp"
+#include "util/table.hpp"
 
 namespace wsn::scenario {
 
@@ -39,6 +40,23 @@ std::vector<util::FlagSpec> CommonEvalFlags() {
 
 util::FlagSpec PointsFlag() {
   return {"points", "K", "11", "sweep resolution over the PDT grid (>= 2)"};
+}
+
+netsim::ReplicationConfig NetsimRepConfig(const util::CliArgs& args,
+                                          std::size_t default_reps) {
+  netsim::ReplicationConfig rep;
+  rep.replications = args.GetCount("replications", default_reps, 1);
+  rep.seed = static_cast<std::uint64_t>(args.GetCount("seed", 2008));
+  return rep;
+}
+
+std::string ObservedCell(std::size_t observed, std::size_t total) {
+  return std::to_string(observed) + "/" + std::to_string(total) + " reps";
+}
+
+std::string MetricCell(const netsim::MetricSummary& metric, int precision) {
+  if (metric.observed == 0) return "n/a";
+  return util::FormatInterval(metric.ci.mean, metric.ci.half_width, precision);
 }
 
 }  // namespace wsn::scenario

@@ -1,13 +1,16 @@
-// Shared configuration helpers for the registered scenarios — the single
-// home of the paper's Table 2 parameters and the validated effort knobs
-// that used to be duplicated across nine bench_* mains.
+/// \file
+/// Shared configuration helpers for the registered scenarios — the single
+/// home of the paper's Table 2 parameters and the validated effort knobs
+/// that used to be duplicated across nine bench_* mains.
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/params.hpp"
+#include "netsim/replication.hpp"
 #include "util/cli.hpp"
 
 namespace wsn::scenario {
@@ -34,5 +37,18 @@ std::vector<util::FlagSpec> CommonEvalFlags();
 
 /// FlagSpec for --points.
 util::FlagSpec PointsFlag();
+
+/// Netsim replication effort knobs (--replications, --seed), shared by
+/// every netsim scenario.  Callers opting into per-replication reports
+/// set `keep_reports` on the result themselves.
+netsim::ReplicationConfig NetsimRepConfig(const util::CliArgs& args,
+                                          std::size_t default_reps);
+
+/// "k/n reps" observation cell for replication summary tables.
+std::string ObservedCell(std::size_t observed, std::size_t total);
+
+/// "mean +- half_width" cell for a replication metric, or "n/a" when the
+/// metric was observed in no replication (no death / no partition).
+std::string MetricCell(const netsim::MetricSummary& metric, int precision);
 
 }  // namespace wsn::scenario

@@ -1,12 +1,13 @@
-// Shared driver plumbing: the wsnctl subcommands and the thin mains the
-// bench_*/example artifact binaries reduce to.
-//
-//   wsnctl list                         all registered scenarios
-//   wsnctl help <name>                  flags of one scenario
-//   wsnctl run <name> [flags...]        run and print (--format, --threads)
-//
-// Every path validates flags against the scenario's declared vocabulary
-// (unknown flags are a hard error) and honors --help.
+/// \file
+/// Shared driver plumbing: the wsnctl subcommands and the thin mains the
+/// bench_*/example artifact binaries reduce to.
+///
+///   wsnctl list                         all registered scenarios
+///   wsnctl help <name>                  flags of one scenario
+///   wsnctl run <name> [flags...]        run and print (--format, --threads)
+///
+/// Every path validates flags against the scenario's declared vocabulary
+/// (unknown flags are a hard error) and honors --help.
 #pragma once
 
 #include <string>

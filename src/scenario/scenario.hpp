@@ -1,18 +1,19 @@
-// The Scenario abstraction: one registered, named experiment = one paper
-// table/figure, ablation, exploration or netsim study.
-//
-// A scenario declares its flag vocabulary (FlagSpec drives both unknown-
-// flag rejection and auto-generated --help), consumes a parsed CliArgs,
-// fans its sweep/replication grid across the ParallelExecutor it is
-// handed, and returns a structured ResultSet.  Everything above — the
-// wsnctl driver, the thin bench_*/example shims, the smoke tests — is
-// shared plumbing in run_main.{hpp,cpp}.
-//
-// Registration is self-contained: each scenarios_*.cpp translation unit
-// defines file-scope ScenarioRegistrar objects whose constructors insert
-// into the process-wide ScenarioRegistry.  Those translation units live
-// in the `wsn_scenarios` CMake object library so the linker can never
-// drop them (a classic static-library registration hazard).
+/// \file
+/// The Scenario abstraction: one registered, named experiment = one paper
+/// table/figure, ablation, exploration or netsim study.
+///
+/// A scenario declares its flag vocabulary (FlagSpec drives both unknown-
+/// flag rejection and auto-generated --help), consumes a parsed CliArgs,
+/// fans its sweep/replication grid across the ParallelExecutor it is
+/// handed, and returns a structured ResultSet.  Everything above — the
+/// wsnctl driver, the thin bench_*/example shims, the smoke tests — is
+/// shared plumbing in run_main.{hpp,cpp}.
+///
+/// Registration is self-contained: each scenarios_*.cpp translation unit
+/// defines file-scope ScenarioRegistrar objects whose constructors insert
+/// into the process-wide ScenarioRegistry.  Those translation units live
+/// in the `wsn_scenarios` CMake object library so the linker can never
+/// drop them (a classic static-library registration hazard).
 #pragma once
 
 #include <cstdint>
@@ -25,16 +26,26 @@
 #include "util/cli.hpp"
 #include "util/executor.hpp"
 
+/// \namespace wsn::scenario
+/// The experiment engine: registered scenarios, structured results and
+/// the shared wsnctl driver plumbing.
+
 namespace wsn::scenario {
 
+/// Everything a scenario run receives from the driver: the parsed
+/// command line and the executor to fan independent jobs through.
 struct ScenarioContext {
-  const util::CliArgs* args = nullptr;
-  util::ParallelExecutor* executor = nullptr;
+  const util::CliArgs* args = nullptr;          ///< parsed flags (non-owning)
+  util::ParallelExecutor* executor = nullptr;   ///< fan-out engine (non-owning)
 
+  /// The parsed command line (must be set).
   const util::CliArgs& Args() const { return *args; }
+  /// The executor scenario jobs map through (must be set).
   util::ParallelExecutor& Executor() const { return *executor; }
 };
 
+/// Interface every registered experiment implements (usually through
+/// MakeScenario rather than a hand-written subclass).
 class Scenario {
  public:
   virtual ~Scenario() = default;
@@ -55,6 +66,8 @@ class Scenario {
   virtual ResultSet Run(const ScenarioContext& ctx) const = 0;
 };
 
+/// Process-wide name -> Scenario map populated at static-init time by
+/// ScenarioRegistrar objects.
 class ScenarioRegistry {
  public:
   /// The process-wide registry.
@@ -75,6 +88,7 @@ class ScenarioRegistry {
 
 /// File-scope helper: constructing one registers the scenario.
 struct ScenarioRegistrar {
+  /// Registers `scenario` into ScenarioRegistry::Instance().
   explicit ScenarioRegistrar(std::unique_ptr<Scenario> scenario);
 };
 

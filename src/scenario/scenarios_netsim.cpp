@@ -41,18 +41,6 @@ netsim::NetSimConfig NetConfigFromArgs(const util::CliArgs& args,
   return cfg;
 }
 
-netsim::ReplicationConfig RepConfigFromArgs(const util::CliArgs& args,
-                                            std::size_t default_reps) {
-  netsim::ReplicationConfig rep;
-  rep.replications = args.GetCount("replications", default_reps, 1);
-  rep.seed = static_cast<std::uint64_t>(args.GetCount("seed", 2008));
-  return rep;
-}
-
-std::string CountCell(std::size_t observed, std::size_t total) {
-  return std::to_string(observed) + "/" + std::to_string(total) + " reps";
-}
-
 // End-to-end lifetime study (ported from the netsim_demo main): a node
 // grid reporting to a corner sink under bursty (MMPP quiet/storm)
 // traffic, with small batteries so a run exhibits the full arc — node
@@ -78,7 +66,7 @@ ResultSet RunNetsimLifetime(const ScenarioContext& ctx) {
     };
   }
 
-  netsim::ReplicationConfig rep = RepConfigFromArgs(args, 8);
+  netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
   rep.keep_reports = true;
 
   const core::MarkovCpuModel model;
@@ -95,25 +83,17 @@ ResultSet RunNetsimLifetime(const ScenarioContext& ctx) {
   ResultTable& lifetimes = results.AddTable(
       "summary", {"metric", "mean +- 95% CI", "observed in"});
   lifetimes.AddRow({"time to first death (s)",
-                    util::FormatInterval(summary.first_death_s.ci.mean,
-                                         summary.first_death_s.ci.half_width,
-                                         1),
-                    CountCell(summary.first_death_s.observed,
-                              summary.replications)});
+                    MetricCell(summary.first_death_s, 1),
+                    ObservedCell(summary.first_death_s.observed,
+                                 summary.replications)});
   lifetimes.AddRow({"time to partition (s)",
-                    util::FormatInterval(summary.partition_s.ci.mean,
-                                         summary.partition_s.ci.half_width, 1),
-                    CountCell(summary.partition_s.observed,
-                              summary.replications)});
-  lifetimes.AddRow({"delivery ratio",
-                    util::FormatInterval(summary.delivery_ratio.ci.mean,
-                                         summary.delivery_ratio.ci.half_width,
-                                         4),
-                    CountCell(summary.replications, summary.replications)});
-  lifetimes.AddRow({"packets delivered",
-                    util::FormatInterval(summary.delivered.ci.mean,
-                                         summary.delivered.ci.half_width, 1),
-                    CountCell(summary.replications, summary.replications)});
+                    MetricCell(summary.partition_s, 1),
+                    ObservedCell(summary.partition_s.observed,
+                                 summary.replications)});
+  lifetimes.AddRow({"delivery ratio", MetricCell(summary.delivery_ratio, 4),
+                    ObservedCell(summary.replications, summary.replications)});
+  lifetimes.AddRow({"packets delivered", MetricCell(summary.delivered, 1),
+                    ObservedCell(summary.replications, summary.replications)});
 
   // Zoom into replication 0: the hot path near the sink dies first.
   const netsim::NetSimReport& rep0 = summary.reports.front();
@@ -167,11 +147,20 @@ ResultSet RunNetsimThroughput(const ScenarioContext& ctx) {
   netsim::NetSimConfig cfg = NetConfigFromArgs(args, 2.0, 25.0, 10, 10);
   cfg.network.node.cpu_power = energy::Pxa271();
   cfg.horizon_s = args.GetDouble("horizon", 30.0);
+  // --clustered benchmarks the LEACH data path (elections, aggregation)
+  // instead of flat greedy multi-hop.
+  const bool clustered = args.GetBool("clustered");
+  if (clustered) {
+    cfg.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
+    cfg.cluster.round_s = cfg.horizon_s / 5.0;
+    cfg.cluster.aggregation = 4;
+  }
 
-  const netsim::ReplicationConfig rep = RepConfigFromArgs(args, 32);
+  const netsim::ReplicationConfig rep = NetsimRepConfig(args, 32);
   const core::MarkovCpuModel model;
 
   ResultSet results("netsim replication throughput: serial vs executor");
+  results.SetMeta("routing", clustered ? "clustered (leach)" : "flat greedy");
   results.SetMeta("nodes", std::to_string(cfg.positions.size()));
   results.SetMeta("horizon", util::FormatFixed(cfg.horizon_s, 0) + " s");
   results.SetMeta("replications", std::to_string(rep.replications));
@@ -254,6 +243,8 @@ const ScenarioRegistrar reg_netsim_throughput(MakeScenario(
       flags.push_back({"replications", "R", "32",
                        "independent replications (>= 1)"});
       flags.push_back({"seed", "N", "2008", "master RNG seed (non-negative)"});
+      flags.push_back({"clustered", "", "",
+                       "benchmark the clustered (LEACH) data path"});
       return flags;
     }(),
     RunNetsimThroughput));

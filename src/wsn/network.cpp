@@ -41,7 +41,14 @@ std::size_t Network::NextHop(std::size_t i) const {
 }
 
 NetworkReport Network::Evaluate(const core::CpuEnergyModel& model) const {
+  return Evaluate(model,
+                  std::vector<NodeConfig>(positions_.size(), config_.node));
+}
+
+NetworkReport Network::Evaluate(const core::CpuEnergyModel& model,
+                                const std::vector<NodeConfig>& per_node) const {
   const std::size_t n = positions_.size();
+  Require(per_node.size() == n, "need one node config per node");
 
   // Propagate each node's report rate along its greedy path, summing the
   // forwarded packet rate per relay.
@@ -49,9 +56,9 @@ NetworkReport Network::Evaluate(const core::CpuEnergyModel& model) const {
   std::vector<std::size_t> hop(n);
   for (std::size_t i = 0; i < n; ++i) hop[i] = NextHop(i);
 
-  const double own_rate =
-      config_.node.cpu.arrival_rate * config_.node.report_fraction;
   for (std::size_t i = 0; i < n; ++i) {
+    const double own_rate =
+        per_node[i].cpu.arrival_rate * per_node[i].report_fraction;
     std::size_t cur = i;
     std::size_t guard = 0;
     while (hop[cur] != cur) {
@@ -67,7 +74,7 @@ NetworkReport Network::Evaluate(const core::CpuEnergyModel& model) const {
   report.nodes.resize(n);
   double worst_lifetime = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
-    NodeConfig cfg = config_.node;
+    NodeConfig cfg = per_node[i];
     const std::size_t target = hop[i];
     cfg.report_distance_m =
         (target == i) ? Distance(positions_[i], config_.sink)

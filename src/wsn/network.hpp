@@ -48,6 +48,14 @@ class Network {
   /// relay load, per-node power and lifetime under `model`.
   NetworkReport Evaluate(const core::CpuEnergyModel& model) const;
 
+  /// Heterogeneous overload: node i uses `per_node[i]` (its own radio,
+  /// duty cycle, battery and report rate) instead of the shared template.
+  /// `per_node` must have one entry per node; routing geometry still
+  /// comes from the NetworkConfig.  This is the analytic cross-check for
+  /// netsim deployments built from named node classes.
+  NetworkReport Evaluate(const core::CpuEnergyModel& model,
+                         const std::vector<NodeConfig>& per_node) const;
+
   /// Greedy next hop of node i: the neighbour within range strictly
   /// closer to the sink that minimizes remaining distance; own index if
   /// the sink is reachable directly or no better neighbour exists.

@@ -1,0 +1,383 @@
+// Clustered / heterogeneous network simulation: node-class validation,
+// multi-sink routing, LEACH head rotation and death-triggered
+// re-election, aggregation bookkeeping, determinism across thread
+// counts, and the policy ablation (rotation must beat static heads on
+// first-node-death in the documented configuration).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "core/models.hpp"
+#include "netsim/cluster.hpp"
+#include "netsim/netsim.hpp"
+#include "netsim/replication.hpp"
+#include "netsim/routing.hpp"
+#include "util/error.hpp"
+#include "wsn/network.hpp"
+
+namespace wsn::netsim {
+namespace {
+
+energy::PowerStateTable TinyCpuTable() {
+  energy::PowerStateTable t;
+  t.name = "tiny";
+  t.standby_mw = 0.005;
+  t.idle_mw = 0.01;
+  t.powerup_mw = 0.02;
+  t.active_mw = 0.02;
+  return t;
+}
+
+/// Small grid with packet-dominated energy so protocol policy decides
+/// lifetimes within a short horizon.
+NetSimConfig GridConfig(std::size_t cols, std::size_t rows,
+                        double battery_mah) {
+  NetSimConfig cfg;
+  cfg.network.node.cpu.arrival_rate = 2.0;
+  cfg.network.node.cpu.service_rate = 20.0;
+  cfg.network.node.cpu_power = TinyCpuTable();
+  cfg.network.node.sample_bits = 1024;
+  cfg.network.node.listen_duty_cycle = 0.01;
+  cfg.network.node.battery_mah = battery_mah;
+  cfg.network.sink = {0.0, 0.0};
+  cfg.network.max_hop_m = 40.0;
+  cfg.positions = node::MakeGrid(cols, rows, 15.0);
+  return cfg;
+}
+
+NetSimConfig LeachConfig(std::size_t cols, std::size_t rows,
+                         double battery_mah, double round_s) {
+  NetSimConfig cfg = GridConfig(cols, rows, battery_mah);
+  cfg.cluster.protocol = ClusterProtocolKind::kLeach;
+  cfg.cluster.head_fraction = 0.2;
+  cfg.cluster.round_s = round_s;
+  cfg.cluster.aggregation = 4;
+  return cfg;
+}
+
+TEST(NodeClassValidation, RejectsNegativeCapacityAndBadFields) {
+  NodeClass cls;
+  cls.name = "standard";
+  cls.battery_mah = -1.0;
+  EXPECT_THROW(cls.Validate(), util::InvalidArgument);
+  cls.battery_mah = 100.0;
+  cls.battery_volts = 0.0;
+  EXPECT_THROW(cls.Validate(), util::InvalidArgument);
+  cls.battery_volts = 3.0;
+  cls.listen_duty_cycle = 1.5;
+  EXPECT_THROW(cls.Validate(), util::InvalidArgument);
+  cls.listen_duty_cycle = 0.01;
+  cls.name.clear();
+  EXPECT_THROW(cls.Validate(), util::InvalidArgument);
+  cls.name = "standard";
+  EXPECT_NO_THROW(cls.Validate());
+}
+
+TEST(NodeClassValidation, ConfigRejectsUnknownAndInconsistentClasses) {
+  NetSimConfig cfg = GridConfig(2, 2, 0.1);
+  NodeClass standard;
+  standard.name = "standard";
+  standard.battery_mah = 0.1;
+  cfg.classes = {standard};
+
+  cfg.node_class = {"standard", "advanced", "standard", "standard"};
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);  // unknown name
+
+  cfg.node_class = {"standard", "standard"};
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);  // wrong arity
+
+  cfg.node_class.assign(4, "standard");
+  EXPECT_NO_THROW(cfg.Validate());
+
+  NodeClass negative = standard;
+  negative.name = "broken";
+  negative.battery_mah = -5.0;
+  cfg.classes.push_back(negative);
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);  // bad class
+
+  cfg.classes = {standard, standard};  // duplicate name
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);
+
+  NetSimConfig orphan = GridConfig(2, 2, 0.1);
+  orphan.node_class.assign(4, "standard");  // names without classes
+  EXPECT_THROW(orphan.Validate(), util::InvalidArgument);
+}
+
+TEST(NodeClassValidation, ClusterConfigKnobs) {
+  NetSimConfig cfg = GridConfig(2, 2, 0.1);
+  cfg.cluster.protocol = ClusterProtocolKind::kLeach;
+  cfg.cluster.round_s = 0.0;  // clustering needs a round length
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);
+  cfg.cluster.round_s = 10.0;
+  cfg.cluster.aggregation = 0;
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);
+  cfg.cluster.aggregation = 2;
+  cfg.cluster.head_fraction = 1.5;
+  EXPECT_THROW(cfg.Validate(), util::InvalidArgument);
+  cfg.cluster.head_fraction = 0.25;
+  EXPECT_NO_THROW(cfg.Validate());
+
+  EXPECT_THROW(ParseClusterProtocolKind("votes"), util::InvalidArgument);
+  EXPECT_EQ(ParseClusterProtocolKind("leach"), ClusterProtocolKind::kLeach);
+}
+
+TEST(PerNodeConfigsBridge, ClassOverridesAndBatteryPrecedence) {
+  NetSimConfig cfg = GridConfig(2, 1, 0.1);
+  NodeClass big;
+  big.name = "big";
+  big.battery_mah = 0.9;
+  big.radio = cfg.network.node.radio;
+  big.radio.listen_mw = 120.0;
+  NodeClass small = big;
+  small.name = "small";
+  small.battery_mah = 0.2;
+  cfg.classes = {big, small};
+  cfg.node_class = {"big", "small"};
+
+  std::vector<node::NodeConfig> per_node = PerNodeConfigs(cfg);
+  ASSERT_EQ(per_node.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_node[0].battery_mah, 0.9);
+  EXPECT_DOUBLE_EQ(per_node[1].battery_mah, 0.2);
+  EXPECT_DOUBLE_EQ(per_node[0].radio.listen_mw, 120.0);
+
+  // The explicit per-node override outranks the class battery.
+  cfg.battery_mah_override = {0.5, 0.5};
+  per_node = PerNodeConfigs(cfg);
+  EXPECT_DOUBLE_EQ(per_node[0].battery_mah, 0.5);
+  EXPECT_DOUBLE_EQ(per_node[1].battery_mah, 0.5);
+}
+
+TEST(MultiSinkRouting, NodesRouteTowardTheirNearestSink) {
+  // Two nodes, each within direct range of a different sink; with only
+  // the origin sink the far node would need a relay it does not have.
+  const std::vector<node::Position> positions = {{30.0, 0.0}, {170.0, 0.0}};
+  RoutingTable single({0.0, 0.0}, 40.0, positions);
+  EXPECT_EQ(single.NextHop(0), RoutingTable::kSink);
+  EXPECT_EQ(single.NextHop(1), RoutingTable::kNoRoute);
+
+  RoutingTable dual({{0.0, 0.0}, {200.0, 0.0}}, 40.0, positions);
+  EXPECT_EQ(dual.NextHop(0), RoutingTable::kSink);
+  EXPECT_EQ(dual.NextHop(1), RoutingTable::kSink);
+  EXPECT_DOUBLE_EQ(dual.DistanceToSink(1), 30.0);
+  ASSERT_EQ(dual.Sinks().size(), 2u);
+}
+
+TEST(ClusteringProtocols, LeachElectsAndRotatesDeterministically) {
+  const std::vector<node::Position> positions = node::MakeGrid(3, 3, 10.0);
+  const std::vector<node::Position> sinks = {{0.0, 0.0}};
+  const std::vector<bool> alive(positions.size(), true);
+  const std::vector<double> energy(positions.size(), 1.0);
+  ClusterView view{&positions, &sinks, &alive, &energy};
+
+  LeachClustering a(0.3);
+  LeachClustering b(0.3);
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  for (std::size_t round = 0; round < 6; ++round) {
+    const ClusterAssignment ca = a.Elect(round, view, rng_a);
+    const ClusterAssignment cb = b.Elect(round, view, rng_b);
+    ASSERT_FALSE(ca.heads.empty()) << "round " << round;
+    EXPECT_EQ(ca.heads, cb.heads) << "round " << round;
+    EXPECT_EQ(ca.head_of, cb.head_of) << "round " << round;
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      EXPECT_NE(ca.head_of[i], ClusterAssignment::kUnclustered);
+    }
+  }
+}
+
+TEST(ClusteringProtocols, StaticKeepsHeadsAndNeverReplacesDeadOnes) {
+  const std::vector<node::Position> positions = node::MakeGrid(4, 1, 10.0);
+  const std::vector<node::Position> sinks = {{0.0, 0.0}};
+  std::vector<bool> alive(positions.size(), true);
+  const std::vector<double> energy(positions.size(), 1.0);
+  ClusterView view{&positions, &sinks, &alive, &energy};
+
+  StaticClustering protocol(2);
+  util::Rng rng(7);
+  const ClusterAssignment first = protocol.Elect(0, view, rng);
+  ASSERT_EQ(first.heads.size(), 2u);
+  const ClusterAssignment later = protocol.Elect(5, view, rng);
+  EXPECT_EQ(first.heads, later.heads);  // static: no rotation
+
+  // Kill one head: repair keeps the survivor only.
+  alive[first.heads[0]] = false;
+  const ClusterAssignment repaired = protocol.Repair(later, 5, view, rng);
+  ASSERT_EQ(repaired.heads.size(), 1u);
+  EXPECT_EQ(repaired.heads[0], first.heads[1]);
+
+  // Kill both: members stay unclustered — the static failure mode.
+  alive[first.heads[1]] = false;
+  const ClusterAssignment stranded = protocol.Repair(repaired, 6, view, rng);
+  EXPECT_TRUE(stranded.heads.empty());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (alive[i]) {
+      EXPECT_EQ(stranded.head_of[i], ClusterAssignment::kUnclustered);
+    }
+  }
+}
+
+TEST(ClusteredSim, HeadDeathTriggersReelectionAndDeliveryContinues) {
+  // One never-ending round: every election beyond the initial one can
+  // only come from a head-death repair.
+  NetSimConfig cfg = LeachConfig(3, 2, 0.01, /*round_s=*/1.0e9);
+  cfg.network.node.cpu.arrival_rate = 10.0;
+  cfg.network.node.cpu.service_rate = 100.0;
+  cfg.horizon_s = 400.0;
+
+  const core::MarkovCpuModel model;
+  NetworkSimulator sim(cfg, CpuAveragePowerMw(cfg, model), util::Rng(17));
+  const NetSimReport report = sim.Run();
+
+  ASSERT_TRUE(std::isfinite(report.first_death_s));
+  EXPECT_EQ(report.rounds, 1u);
+  EXPECT_GT(report.elections, report.rounds)
+      << "a cluster-head death inside the round must trigger a repair "
+         "election";
+  std::set<std::size_t> heads;
+  std::uint64_t delivered_by_late_sources = 0;
+  for (std::size_t i = 0; i < report.nodes.size(); ++i) {
+    if (report.nodes[i].head_elections > 0) heads.insert(i);
+    if (report.nodes[i].death_s > report.first_death_s) {
+      delivered_by_late_sources += report.nodes[i].delivered;
+    }
+  }
+  EXPECT_GE(heads.size(), 2u)
+      << "the repair election must seat a different node as head";
+  EXPECT_GT(delivered_by_late_sources, 0u)
+      << "nodes surviving the first head must keep delivering";
+}
+
+TEST(ClusteredSim, AggregationFoldsMemberSamples) {
+  NetSimConfig cfg = LeachConfig(3, 2, 1.0, /*round_s=*/50.0);
+  cfg.horizon_s = 200.0;  // big battery: nobody dies, pure bookkeeping
+
+  const core::MarkovCpuModel model;
+  NetworkSimulator sim(cfg, CpuAveragePowerMw(cfg, model), util::Rng(23));
+  const NetSimReport report = sim.Run();
+
+  EXPECT_FALSE(std::isfinite(report.first_death_s));
+  EXPECT_GT(report.packets.generated, 0u);
+  EXPECT_GT(report.packets.delivered, 0u);
+  // Delivered + dropped + still-buffered can never exceed generated.
+  EXPECT_LE(report.packets.delivered + report.packets.TotalDropped(),
+            report.packets.generated);
+  // Heads really aggregated member samples.
+  std::uint64_t aggregated = 0;
+  for (const NodeSimStats& n : report.nodes) aggregated += n.aggregated;
+  EXPECT_GT(aggregated, 0u);
+  // Nearly everything should arrive on a healthy network.
+  EXPECT_GT(report.DeliveryRatio(), 0.95);
+  // Initial election plus one per boundary (the horizon instant counts).
+  EXPECT_EQ(report.rounds, 5u);
+}
+
+TEST(ClusteredSim, ReplicationsIndependentOfThreadCount) {
+  NetSimConfig cfg = LeachConfig(3, 3, 0.02, /*round_s=*/20.0);
+  cfg.horizon_s = 150.0;
+
+  const core::MarkovCpuModel model;
+  ReplicationConfig serial;
+  serial.replications = 4;
+  serial.seed = 99;
+  serial.threads = 1;
+  serial.keep_reports = true;
+  ReplicationConfig parallel = serial;
+  parallel.threads = 4;
+
+  const ReplicationSummary rs = RunReplications(cfg, model, serial);
+  const ReplicationSummary rp = RunReplications(cfg, model, parallel);
+  ASSERT_EQ(rs.reports.size(), rp.reports.size());
+  for (std::size_t r = 0; r < rs.reports.size(); ++r) {
+    EXPECT_EQ(rs.reports[r].packets.delivered, rp.reports[r].packets.delivered)
+        << "replication " << r;
+    EXPECT_EQ(rs.reports[r].events, rp.reports[r].events);
+    EXPECT_EQ(rs.reports[r].elections, rp.reports[r].elections);
+    EXPECT_DOUBLE_EQ(rs.reports[r].first_death_s, rp.reports[r].first_death_s);
+  }
+  EXPECT_DOUBLE_EQ(rs.first_death_s.ci.mean, rp.first_death_s.ci.mean);
+}
+
+// The cluster-ablation acceptance claim, pinned at test scale: with the
+// documented configuration family (grid deployment, small batteries,
+// frequent rounds) LEACH-style rotation outlives static heads on
+// first-node-death.
+TEST(ClusteredSim, LeachRotationBeatsStaticHeadsOnFirstDeath) {
+  NetSimConfig leach = GridConfig(5, 5, 0.02);
+  leach.cluster.protocol = ClusterProtocolKind::kLeach;
+  leach.cluster.head_fraction = 0.1;
+  leach.cluster.round_s = 15.0;
+  leach.cluster.aggregation = 4;
+  leach.horizon_s = 1000.0;
+
+  NetSimConfig still = leach;
+  still.cluster.protocol = ClusterProtocolKind::kStatic;
+
+  const core::MarkovCpuModel model;
+  ReplicationConfig rep;
+  rep.replications = 6;
+  rep.seed = 2008;
+  rep.threads = 1;
+
+  const ReplicationSummary leach_sum = RunReplications(leach, model, rep);
+  const ReplicationSummary still_sum = RunReplications(still, model, rep);
+  ASSERT_EQ(leach_sum.first_death_s.observed, rep.replications);
+  ASSERT_EQ(still_sum.first_death_s.observed, rep.replications);
+  EXPECT_GT(leach_sum.first_death_s.ci.mean,
+            1.15 * still_sum.first_death_s.ci.mean)
+      << "rotating the head role must spread the uplink cost";
+}
+
+// Heterogeneous counterpart of the analytic-convergence anchor: a chain
+// whose bottleneck relay carries a triple battery must match the
+// per-node analytic estimate.
+TEST(HeterogeneousSim, FirstDeathMatchesPerNodeAnalyticEstimate) {
+  NetSimConfig cfg;
+  cfg.network.node.cpu.arrival_rate = 15.0;
+  cfg.network.node.cpu.service_rate = 150.0;
+  cfg.network.node.cpu_power = TinyCpuTable();
+  cfg.network.node.sample_bits = 2048;
+  cfg.network.node.listen_duty_cycle = 0.01;
+  cfg.network.node.battery_mah = 0.3;
+  cfg.network.sink = {0.0, 0.0};
+  cfg.network.max_hop_m = 60.0;
+  cfg.positions = {{50.0, 0.0}, {100.0, 0.0}, {150.0, 0.0}};
+  cfg.rerouting = false;
+  cfg.stop_at_first_death = true;
+  cfg.horizon_s = 20000.0;
+
+  NodeClass standard;
+  standard.name = "standard";
+  standard.battery_mah = cfg.network.node.battery_mah;
+  standard.radio = cfg.network.node.radio;
+  NodeClass big = standard;
+  big.name = "big";
+  big.battery_mah = 3.0 * standard.battery_mah;
+  cfg.classes = {standard, big};
+  cfg.node_class = {"big", "standard", "standard"};  // big bottleneck relay
+
+  const core::MarkovCpuModel model;
+  const node::NetworkReport analytic =
+      node::Network(cfg.network, cfg.positions)
+          .Evaluate(model, PerNodeConfigs(cfg));
+
+  ReplicationConfig rep;
+  rep.replications = 32;
+  rep.seed = 2008;
+  const ReplicationSummary summary = RunReplications(cfg, model, rep);
+  ASSERT_EQ(summary.first_death_s.observed, rep.replications);
+  const util::ConfidenceInterval& ci = summary.first_death_s.ci;
+  EXPECT_TRUE(ci.Contains(analytic.network_lifetime_seconds))
+      << "simulated " << ci.mean << " +- " << ci.half_width
+      << " s vs analytic " << analytic.network_lifetime_seconds << " s";
+  // The tripled battery must actually move the bottleneck: the analytic
+  // homogeneous lifetime has to be shorter.
+  const node::NetworkReport homogeneous =
+      node::Network(cfg.network, cfg.positions).Evaluate(model);
+  EXPECT_GT(analytic.network_lifetime_seconds,
+            1.5 * homogeneous.network_lifetime_seconds);
+}
+
+}  // namespace
+}  // namespace wsn::netsim

@@ -43,7 +43,9 @@ TEST(ScenarioRegistry, PaperArtifactsAreRegistered) {
   for (const char* name : {"table4", "table5", "fig4", "fig5",
                            "ablation-stages", "ablation-steady", "duty-cycle",
                            "model-comparison", "wsn-lifetime",
-                           "netsim-lifetime", "netsim-throughput"}) {
+                           "netsim-lifetime", "netsim-throughput",
+                           "netsim-clustered", "netsim-heterogeneous",
+                           "cluster-ablation"}) {
     EXPECT_NE(ScenarioRegistry::Instance().Find(name), nullptr)
         << "missing scenario " << name;
   }
@@ -103,6 +105,24 @@ TEST(ScenarioDeterminism, NetsimLifetimeByteIdenticalAcrossThreadCounts) {
   const std::string serial = RunAll("netsim-lifetime", flags, 1);
   const std::string parallel = RunAll("netsim-lifetime", flags, 8);
   EXPECT_EQ(serial, parallel);
+}
+
+// Acceptance pin: the clustered workload (rotating elections, repair
+// after head death, aggregation) is also byte-identical across thread
+// counts.
+TEST(ScenarioDeterminism, NetsimClusteredByteIdenticalAcrossThreadCounts) {
+  const std::vector<std::string> flags = {"--cols=3", "--rows=3",
+                                          "--horizon=400",
+                                          "--replications=3", "--seed=11"};
+  const std::string serial = RunAll("netsim-clustered", flags, 1);
+  const std::string parallel = RunAll("netsim-clustered", flags, 8);
+  EXPECT_EQ(serial, parallel);
+  const std::string other_seed =
+      RunAll("netsim-clustered",
+             {"--cols=3", "--rows=3", "--horizon=400", "--replications=3",
+              "--seed=12"},
+             1);
+  EXPECT_NE(serial, other_seed);
 }
 
 TEST(ScenarioRun, RejectsInvalidEffortFlags) {

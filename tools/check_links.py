@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Intra-repo link checker for the documentation set.
+
+Scans markdown files for inline links and validates every *intra-repo*
+target:
+
+  * relative file links must point at an existing file or directory
+    (resolved against the markdown file's own directory);
+  * fragment links (``file.md#anchor`` or ``#anchor``) must match a
+    heading in the target file, using GitHub's slug rules (lowercase,
+    punctuation stripped, spaces to dashes);
+  * external schemes (http/https/mailto) are ignored — this is a
+    dead-intra-repo-link gate, not a crawler.
+
+Exit status is non-zero when any link is dead, printing one line per
+offender.  Used by the CI docs job over ``docs/*.md`` and ``README.md``:
+
+    python3 tools/check_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Images ![alt](target) share the
+# same tail, so the optional leading ! is swallowed by the text match.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip punctuation, lowercase, dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links -> text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        # GitHub dedupes repeated headings with -1, -2, ... suffixes.
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def iter_links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    errors = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            try:
+                resolved.relative_to(repo_root)
+            except ValueError:
+                errors.append(f"{path}:{lineno}: link escapes the repo: "
+                              f"{target}")
+                continue
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: dead link: {target}")
+                continue
+            anchor_host = resolved
+        else:
+            anchor_host = path  # pure fragment: #anchor in this file
+        if fragment:
+            if anchor_host.is_dir() or anchor_host.suffix != ".md":
+                continue  # anchors only checked inside markdown
+            if fragment.lower() not in headings_of(anchor_host):
+                errors.append(f"{path}:{lineno}: dead anchor: {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    repo_root = Path.cwd().resolve()
+    errors: list[str] = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: no such file")
+            continue
+        errors.extend(check_file(path, repo_root))
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"check_links: {len(errors)} dead link(s)", file=sys.stderr)
+        return 1
+    print(f"check_links: {len(argv) - 1} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
