@@ -33,13 +33,16 @@ ClusterAssignment AssignToNearestHead(const ClusterView& view,
   if (out.heads.empty()) return out;
   for (std::size_t i = 0; i < n; ++i) {
     if (!(*view.alive)[i] || out.head_of[i] == i) continue;
-    double best = std::numeric_limits<double>::infinity();
+    // Nearest-head search compares in distance^2: the argmin (ties to
+    // the lowest head index, heads being sorted) is the same and no
+    // sqrt is ever needed — the metric value itself is not used.
+    double best2 = std::numeric_limits<double>::infinity();
     std::size_t best_head = ClusterAssignment::kUnclustered;
     for (std::size_t h : out.heads) {
-      const double d = node::Distance((*view.positions)[i],
-                                      (*view.positions)[h]);
-      if (d < best) {
-        best = d;
+      const double d2 = node::Distance2((*view.positions)[i],
+                                        (*view.positions)[h]);
+      if (d2 < best2) {
+        best2 = d2;
         best_head = h;
       }
     }

@@ -1,6 +1,7 @@
 #include "netsim/netsim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "energy/energy_model.hpp"
@@ -195,6 +196,8 @@ NetSimReport NetworkSimulator::Run() {
   report.partition_s = partition_s_;
   report.end_s = end;
   report.events = sim_.ProcessedEvents();
+  report.routing_repairs = routing_repairs_;
+  report.routing_repair_s = routing_repair_s_;
   report.rounds = rounds_;
   report.elections = elections_;
   return report;
@@ -395,15 +398,44 @@ void NetworkSimulator::OnDeath(std::size_t i) {
     if (config_.stop_at_first_death) Stop();
   }
   if (stopped_) return;
+  const auto repair_start = std::chrono::steady_clock::now();
+  bool repaired = true;
   if (Clustered()) {
-    if (config_.rerouting && cluster_.IsHead(i)) {
-      // Losing a head strands its members: repair the cluster now.
-      ElectClusters(/*repair=*/true);
+    if (cluster_.IsHead(i)) {
+      if (config_.rerouting) {
+        // Losing a head strands its members: repair the cluster now.
+        ElectClusters(/*repair=*/true);
+      } else {
+        RebuildClusterRoutes();  // at least forget routes through the dead
+      }
     } else {
-      RebuildClusterRoutes();  // at least forget routes through the dead
+      // A dead member invalidates only its own uplink; every other row
+      // of the cluster routing state still points at a live head (or
+      // was already kNoRoute), so a full rebuild would change nothing.
+      cluster_next_[i] = RoutingTable::kNoRoute;
+      cluster_dist_[i] = 0.0;
     }
   } else if (config_.rerouting) {
-    routing_.Recompute(alive_);
+    switch (config_.routing_update) {
+      case RoutingUpdateMode::kIncremental:
+        routing_.RepairAfterDeath(i, alive_);
+        break;
+      case RoutingUpdateMode::kFull:
+        routing_.Recompute(alive_);
+        break;
+      case RoutingUpdateMode::kLegacy:
+        routing_.RecomputeLegacy(alive_);
+        break;
+    }
+  } else {
+    repaired = false;
+  }
+  if (repaired) {
+    ++routing_repairs_;
+    routing_repair_s_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      repair_start)
+            .count();
   }
   CheckPartition();
 }

@@ -71,6 +71,11 @@ struct NetSimConfig {
   /// Recompute routes when a node dies (flat mode); in clustered mode
   /// this gates the repair election after a cluster-head death.
   bool rerouting = true;
+  /// How a flat-mode death updates the routing table: incremental repair
+  /// (default), grid-accelerated full recompute (correctness oracle) or
+  /// the faithful pre-grid all-pairs recompute (benchmark baseline).
+  /// All three produce identical routes; only the cost differs.
+  RoutingUpdateMode routing_update = RoutingUpdateMode::kIncremental;
   bool stop_at_first_death = false;  ///< end the run at the first death
   bool stop_at_partition = false;    ///< end the run when partitioned
 
@@ -161,6 +166,13 @@ struct NetSimReport {
   double partition_s = std::numeric_limits<double>::infinity();
   double end_s = 0.0;        ///< horizon or early-stop instant
   std::uint64_t events = 0;  ///< DES events fired
+  /// Death-triggered route updates performed (flat repairs/recomputes
+  /// and clustered rebuilds / repair elections).
+  std::uint64_t routing_repairs = 0;
+  /// Wall-clock seconds spent in those updates — the scaling work's
+  /// direct observable (machine-dependent; not part of any pinned
+  /// deterministic output).
+  double routing_repair_s = 0.0;
   /// Cluster rounds started (boundary elections incl. the initial one;
   /// 0 in flat mode).
   std::uint64_t rounds = 0;
@@ -246,6 +258,8 @@ class NetworkSimulator {
   bool stopped_ = false;
   double stop_time_s_ = 0.0;
   bool ran_ = false;
+  std::uint64_t routing_repairs_ = 0;
+  double routing_repair_s_ = 0.0;
 
   // Clustered-mode state.
   std::unique_ptr<ClusteringProtocol> protocol_;  ///< null in flat mode

@@ -1,13 +1,28 @@
 #include "netsim/routing.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 
 #include "util/error.hpp"
 
 namespace wsn::netsim {
 
 using util::Require;
+
+namespace {
+
+/// Pre-grid validation: SpatialGrid is a member, so the table's own
+/// input checks must run before its construction.
+const std::vector<node::Position>& Validated(
+    const std::vector<node::Position>& positions, double max_hop_m) {
+  Require(!positions.empty(), "routing table needs at least one node");
+  Require(max_hop_m > 0.0, "hop range must be positive");
+  return positions;
+}
+
+}  // namespace
 
 RoutingTable::RoutingTable(node::Position sink, double max_hop_m,
                            std::vector<node::Position> positions)
@@ -18,25 +33,111 @@ RoutingTable::RoutingTable(std::vector<node::Position> sinks, double max_hop_m,
                            std::vector<node::Position> positions)
     : sinks_(std::move(sinks)),
       max_hop_m_(max_hop_m),
-      positions_(std::move(positions)) {
-  Require(!positions_.empty(), "routing table needs at least one node");
+      positions_(std::move(positions)),
+      grid_(Validated(positions_, max_hop_m_), max_hop_m_) {
   Require(!sinks_.empty(), "routing table needs at least one sink");
-  Require(max_hop_m_ > 0.0, "hop range must be positive");
   const std::size_t n = positions_.size();
+  const double hop2 = max_hop_m_ * max_hop_m_;
+
+  // Nearest-sink distances: compare in distance^2, one sqrt per node.
   to_sink_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double best2 = std::numeric_limits<double>::infinity();
+    for (const node::Position& sink : sinks_) {
+      best2 = std::min(best2, node::Distance2(positions_[i], sink));
+    }
+    to_sink_[i] = std::sqrt(best2);
+  }
+
+  // Per-node in-range neighbour lists, gathered from the 3x3 grid block
+  // and sorted ascending — the greedy tie-break (lowest index wins on
+  // equal remaining distance) scans each list in index order, exactly
+  // like the historical all-pairs loop did.
+  std::vector<std::pair<std::uint32_t, double>> candidates;
+  nbr_start_.assign(n + 1, 0);
+  nbr_.clear();
+  nbr_d2_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    candidates.clear();
+    grid_.ForEachCandidate(positions_[i], [&](std::size_t j) {
+      if (j == i) return;
+      const double d2 = node::Distance2(positions_[i], positions_[j]);
+      if (d2 <= hop2) {
+        candidates.emplace_back(static_cast<std::uint32_t>(j), d2);
+      }
+    });
+    std::sort(candidates.begin(), candidates.end());
+    for (const auto& [j, d2] : candidates) {
+      nbr_.push_back(j);
+      nbr_d2_.push_back(d2);
+    }
+    nbr_start_[i + 1] = static_cast<std::uint32_t>(nbr_.size());
+  }
+
+  // All-alive fast path: route every node directly off its neighbour
+  // list — no throwaway all-true liveness mask, no per-node mask reads.
   next_.assign(n, kNoRoute);
   hop_distance_.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    double best = std::numeric_limits<double>::infinity();
-    for (const node::Position& sink : sinks_) {
-      best = std::min(best, node::Distance(positions_[i], sink));
+    if (to_sink_[i] <= max_hop_m_) {
+      next_[i] = kSink;
+      hop_distance_[i] = to_sink_[i];
+      continue;
     }
-    to_sink_[i] = best;
+    std::size_t best = kNoRoute;
+    double best_remaining = to_sink_[i];
+    double best_d2 = 0.0;
+    for (std::uint32_t k = nbr_start_[i]; k < nbr_start_[i + 1]; ++k) {
+      const std::uint32_t j = nbr_[k];
+      if (to_sink_[j] < best_remaining) {
+        best_remaining = to_sink_[j];
+        best = j;
+        best_d2 = nbr_d2_[k];
+      }
+    }
+    next_[i] = best;
+    hop_distance_[i] = (best == kNoRoute) ? 0.0 : std::sqrt(best_d2);
   }
-  Recompute(std::vector<bool>(n, true));
+}
+
+void RoutingTable::Choose(std::size_t i, const std::vector<bool>& alive) {
+  if (to_sink_[i] <= max_hop_m_) {
+    next_[i] = kSink;
+    hop_distance_[i] = to_sink_[i];
+    return;
+  }
+  // Strictly-closer greedy choice; ties broken by lowest index via the
+  // strict comparison in (sorted) scan order, matching Network::NextHop.
+  std::size_t best = kNoRoute;
+  double best_remaining = to_sink_[i];
+  double best_d2 = 0.0;
+  for (std::uint32_t k = nbr_start_[i]; k < nbr_start_[i + 1]; ++k) {
+    const std::uint32_t j = nbr_[k];
+    if (!alive[j]) continue;
+    if (to_sink_[j] < best_remaining) {
+      best_remaining = to_sink_[j];
+      best = j;
+      best_d2 = nbr_d2_[k];
+    }
+  }
+  next_[i] = best;
+  hop_distance_[i] = (best == kNoRoute) ? 0.0 : std::sqrt(best_d2);
 }
 
 void RoutingTable::Recompute(const std::vector<bool>& alive) {
+  const std::size_t n = positions_.size();
+  Require(alive.size() == n, "alive mask size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) {
+      next_[i] = kNoRoute;
+      hop_distance_[i] = 0.0;
+      continue;
+    }
+    Choose(i, alive);
+  }
+}
+
+void RoutingTable::RecomputeLegacy(const std::vector<bool>& alive) {
   const std::size_t n = positions_.size();
   Require(alive.size() == n, "alive mask size mismatch");
   for (std::size_t i = 0; i < n; ++i) {
@@ -50,8 +151,6 @@ void RoutingTable::Recompute(const std::vector<bool>& alive) {
       hop_distance_[i] = to_sink_[i];
       continue;
     }
-    // Strictly-closer greedy choice; ties broken by lowest index via the
-    // strict comparison in scan order, matching Network::NextHop.
     std::size_t best = kNoRoute;
     double best_remaining = to_sink_[i];
     for (std::size_t j = 0; j < n; ++j) {
@@ -66,6 +165,34 @@ void RoutingTable::Recompute(const std::vector<bool>& alive) {
     hop_distance_[i] =
         (best == kNoRoute) ? 0.0
                            : node::Distance(positions_[i], positions_[best]);
+  }
+}
+
+void RoutingTable::RepairAfterDeath(std::size_t dead,
+                                    const std::vector<bool>& alive) {
+  const std::size_t n = positions_.size();
+  Require(alive.size() == n, "alive mask size mismatch");
+  Require(dead < n, "dead node index out of range");
+  Require(!alive[dead], "RepairAfterDeath: node is still alive");
+
+  worklist_.clear();
+  worklist_.push_back(static_cast<std::uint32_t>(dead));
+  next_[dead] = kNoRoute;
+  hop_distance_[dead] = 0.0;
+  while (!worklist_.empty()) {
+    const std::uint32_t lost = worklist_.back();
+    worklist_.pop_back();
+    // A next hop is always within range, so every node routing through
+    // `lost` sits in its (symmetric) neighbour list — no global scan.
+    for (std::uint32_t k = nbr_start_[lost]; k < nbr_start_[lost + 1]; ++k) {
+      const std::uint32_t i = nbr_[k];
+      if (!alive[i] || next_[i] != lost) continue;
+      Choose(i, alive);
+      // Greedy hops depend only on geometry and liveness, never on
+      // another node's chosen hop, so i's new route cannot invalidate
+      // anyone else's: the worklist drains after the direct
+      // predecessors of each dead node.
+    }
   }
 }
 

@@ -1,0 +1,74 @@
+#include "netsim/spatial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wsn::netsim {
+
+using util::Require;
+
+SpatialGrid::SpatialGrid(const std::vector<node::Position>& positions,
+                         double cell_m)
+    : size_(positions.size()), cell_m_(cell_m) {
+  Require(!positions.empty(), "spatial grid needs at least one node");
+  Require(cell_m > 0.0 && std::isfinite(cell_m),
+          "spatial grid cell size must be positive and finite");
+
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  min_x_ = std::numeric_limits<double>::infinity();
+  min_y_ = std::numeric_limits<double>::infinity();
+  for (const node::Position& p : positions) {
+    Require(std::isfinite(p.x) && std::isfinite(p.y),
+            "node positions must be finite");
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  // Keep the cell table O(N): a sparse deployment (huge extent, small
+  // hop) would otherwise allocate extent^2 / cell^2 empty cells.  Growing
+  // the cell size preserves query correctness — the 3x3 block of larger
+  // cells still covers everything within the *requested* radius — it only
+  // widens the candidate supersets.
+  const double width = max_x - min_x_;
+  const double height = max_y - min_y_;
+  // The budget test runs in double: extent/hop ratios past 2^32 would
+  // overflow a size_t cell product long before the loop settles.
+  const auto cells_along = [](double extent, double cell) {
+    return std::floor(extent / cell) + 1.0;
+  };
+  const double cell_budget = static_cast<double>(4 * size_ + 64);
+  while (cells_along(width, cell_m_) * cells_along(height, cell_m_) >
+         cell_budget) {
+    cell_m_ *= 2.0;
+  }
+  nx_ = static_cast<std::size_t>(cells_along(width, cell_m_));
+  ny_ = static_cast<std::size_t>(cells_along(height, cell_m_));
+  inv_cell_ = 1.0 / cell_m_;
+
+  // Counting sort into CSR: one pass to size the cells, one to fill.
+  // Filling in ascending node index keeps each cell's slice sorted.
+  std::vector<std::uint32_t> cell_of(size_);
+  cell_start_.assign(nx_ * ny_ + 1, 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t cx = CellCoord(positions[i].x, min_x_, nx_);
+    const std::size_t cy = CellCoord(positions[i].y, min_y_, ny_);
+    cell_of[i] = static_cast<std::uint32_t>(cy * nx_ + cx);
+    ++cell_start_[cell_of[i] + 1];
+  }
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) {
+    cell_start_[c] += cell_start_[c - 1];
+  }
+  items_.resize(size_);
+  std::vector<std::uint32_t> fill(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < size_; ++i) {
+    items_[fill[cell_of[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace wsn::netsim

@@ -1,0 +1,99 @@
+/// \file
+/// Uniform spatial-grid index over a fixed deployment.
+///
+/// Greedy routing only ever cares about nodes within one hop range, so
+/// scanning all N nodes per candidate query is O(N) wasted work for any
+/// deployment larger than a single radio cell.  The grid buckets node
+/// indices into square cells of side >= the query radius; every point
+/// within that radius of a query position then lies in the 3x3 block of
+/// cells around it, shrinking a candidate scan from N to the local
+/// density (O(1) for bounded-density deployments such as grids).
+///
+/// The index is immutable after construction — node *positions* never
+/// change during a replication, only liveness does, and liveness is the
+/// caller's problem (the routing table filters candidates through its
+/// alive mask).  Query positions outside the bounding box (e.g. a sink
+/// placed off the deployment) clamp to the nearest boundary cell, so
+/// they still see every in-range node.
+///
+/// Cell-size tradeoff: cells of exactly the hop range give the smallest
+/// 3x3 superset that is still complete.  Larger cells scan more
+/// candidates per query; smaller cells would require widening the block
+/// and are therefore rejected.  When a sparse deployment would explode
+/// the cell count (huge extent, small hop), the constructor grows the
+/// cell size until the table stays O(N) — queries stay correct, only
+/// the candidate supersets grow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace wsn::netsim {
+
+/// Immutable bucket index of node positions on a uniform square grid.
+class SpatialGrid {
+ public:
+  /// Build the index with cells of side >= `cell_m` (> 0) covering the
+  /// bounding box of `positions`.  The effective cell size is enlarged
+  /// when needed to keep the cell table O(positions.size()).
+  SpatialGrid(const std::vector<node::Position>& positions, double cell_m);
+
+  /// Number of indexed nodes.
+  std::size_t Size() const noexcept { return size_; }
+
+  /// Cells along x / y; their product is the cell-table size.
+  std::size_t CellsX() const noexcept { return nx_; }
+  std::size_t CellsY() const noexcept { return ny_; }
+
+  /// The cell side actually used (>= the requested cell_m).
+  double CellSize() const noexcept { return cell_m_; }
+
+  /// Invoke `fn(j)` for every node j in the 3x3 cell block around `p`.
+  /// This is a superset of the nodes within CellSize() of `p`; callers
+  /// apply their own exact range test.  Iteration order is unspecified —
+  /// order-sensitive callers (greedy tie-breaking!) must sort what they
+  /// collect.
+  template <typename Fn>
+  void ForEachCandidate(const node::Position& p, Fn&& fn) const {
+    const std::size_t cx = CellCoord(p.x, min_x_, nx_);
+    const std::size_t cy = CellCoord(p.y, min_y_, ny_);
+    const std::size_t x0 = cx > 0 ? cx - 1 : 0;
+    const std::size_t x1 = cx + 1 < nx_ ? cx + 1 : nx_ - 1;
+    const std::size_t y0 = cy > 0 ? cy - 1 : 0;
+    const std::size_t y1 = cy + 1 < ny_ ? cy + 1 : ny_ - 1;
+    for (std::size_t y = y0; y <= y1; ++y) {
+      for (std::size_t x = x0; x <= x1; ++x) {
+        const std::size_t cell = y * nx_ + x;
+        for (std::uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+             ++k) {
+          fn(static_cast<std::size_t>(items_[k]));
+        }
+      }
+    }
+  }
+
+ private:
+  /// Cell coordinate of `v` along one axis, clamped into [0, cells).
+  std::size_t CellCoord(double v, double min_v, std::size_t cells) const {
+    if (v <= min_v) return 0;
+    const std::size_t c = static_cast<std::size_t>((v - min_v) * inv_cell_);
+    return c < cells ? c : cells - 1;
+  }
+
+  std::size_t size_ = 0;
+  double cell_m_ = 0.0;
+  double inv_cell_ = 0.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  /// CSR layout: nodes of cell c are items_[cell_start_[c] ..
+  /// cell_start_[c+1]), grouped by cell, ascending node index per cell.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> items_;
+};
+
+}  // namespace wsn::netsim

@@ -1,0 +1,282 @@
+// Registered netsim scaling benchmark (ISSUE 5): end-to-end packet
+// simulation at N up to 10k nodes, flat vs clustered, with the
+// death-triggered routing-update cost made visible.
+//
+// Each size runs the same deployment three ways:
+//   * flat-incremental — spatial-grid neighbour index + incremental
+//     repair (the production path);
+//   * flat-legacy      — the faithful pre-grid all-pairs recompute per
+//     death (RoutingTable::RecomputeLegacy), run in-bench so the quoted
+//     speedup is measured against the real former implementation (only
+//     up to --legacy-max nodes: O(deaths * N^2) is the point);
+//   * clustered        — LEACH-style rotation on the same topology.
+//
+// Deaths are staged deterministically: a strided subset of nodes gets a
+// battery sized to empty at a chosen instant inside the horizon, so
+// every size exercises a comparable number of routing repairs without
+// waiting for the whole deployment to drain.  The flat runs share one
+// RNG stream and must produce identical reports — the benchmark
+// hard-fails if the legacy and incremental paths diverge, making every
+// bench run an equivalence check too.
+//
+// `wsnctl run netsim-scale --format=json > BENCH_netsim_scale.json`
+// produces the committed scaling record (see docs/performance.md);
+// tools/bench_compare.py diffs two such files.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/models.hpp"
+#include "netsim/netsim.hpp"
+#include "scenario/common.hpp"
+#include "scenario/scenario.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "wsn/network.hpp"
+
+namespace wsn::scenario {
+namespace {
+
+std::vector<std::size_t> ParseSizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string item =
+        csv.substr(start, comma == std::string::npos ? csv.size() - start
+                                                     : comma - start);
+    util::Require(!item.empty(), "flag --sizes: empty size entry");
+    std::size_t parsed = 0;
+    std::size_t consumed = 0;
+    try {
+      parsed = static_cast<std::size_t>(std::stoull(item, &consumed));
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != item.size()) {
+      throw util::InvalidArgument("flag --sizes: '" + item +
+                                  "' is not a node count");
+    }
+    util::Require(parsed >= 1 && parsed <= 200000,
+                  "flag --sizes entries must be in 1..200000");
+    sizes.push_back(parsed);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  util::Require(!sizes.empty(), "flag --sizes needs at least one size");
+  return sizes;
+}
+
+/// Near-square grid deployment trimmed to exactly `n` nodes.
+std::vector<node::Position> ScaleTopology(std::size_t n, double spacing) {
+  const std::size_t cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t rows = (n + cols - 1) / cols;
+  std::vector<node::Position> positions = node::MakeGrid(cols, rows, spacing);
+  positions.resize(n);
+  return positions;
+}
+
+struct ScaleRun {
+  netsim::NetSimReport report;
+  double wall_s = 0.0;
+  std::uint64_t deaths = 0;
+};
+
+ScaleRun TimeRun(const netsim::NetSimConfig& cfg, double cpu_mw,
+                 std::uint64_t seed, std::size_t replications) {
+  const util::Rng master(seed);
+  ScaleRun out;
+  for (std::size_t r = 0; r < replications; ++r) {
+    netsim::NetworkSimulator sim(cfg, cpu_mw, master.MakeStream(r));
+    const auto start = std::chrono::steady_clock::now();
+    netsim::NetSimReport report = sim.Run();
+    out.wall_s +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    // Deaths are summed across replications, like every other column.
+    for (const netsim::NodeSimStats& node : report.nodes) {
+      if (!node.alive) ++out.deaths;
+    }
+    if (r == 0) {
+      out.report = std::move(report);
+    } else {
+      out.report.events += report.events;
+      out.report.routing_repairs += report.routing_repairs;
+      out.report.routing_repair_s += report.routing_repair_s;
+      out.report.packets.generated += report.packets.generated;
+      out.report.packets.delivered += report.packets.delivered;
+    }
+  }
+  return out;
+}
+
+ResultSet RunNetsimScale(const ScenarioContext& ctx) {
+  const util::CliArgs& args = ctx.Args();
+  const std::vector<std::size_t> sizes =
+      ParseSizes(args.GetString("sizes", "100,1000,5000,10000"));
+  const double spacing = args.GetDouble("spacing", 15.0);
+  const double hop = args.GetDouble("hop", 40.0);
+  const double rate = args.GetDouble("rate", 0.01);
+  const double horizon = args.GetDouble("horizon", 2000.0);
+  const double death_fraction = args.GetDouble("death-fraction", 0.08);
+  util::Require(death_fraction > 0.0 && death_fraction <= 0.8,
+                "flag --death-fraction must be in (0, 0.8]");
+  const std::size_t legacy_max = args.GetCount("legacy-max", 5000);
+  const std::size_t replications = args.GetCount("replications", 1, 1);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetCount("seed", 2008));
+  const double round_s = args.GetDouble("round", horizon / 20.0);
+
+  ResultSet results(
+      "netsim at scale: spatial-grid + incremental routing repair vs the "
+      "legacy full recompute, flat and clustered");
+  results.SetMeta("sizes", args.GetString("sizes", "100,1000,5000,10000"));
+  results.SetMeta("spacing", util::FormatFixed(spacing, 0) + " m");
+  results.SetMeta("hop", util::FormatFixed(hop, 0) + " m");
+  results.SetMeta("rate", util::FormatFixed(rate, 3) + " /s per node");
+  results.SetMeta("horizon", util::FormatFixed(horizon, 0) + " s");
+  results.SetMeta("death-fraction", util::FormatFixed(death_fraction, 3));
+  results.SetMeta("legacy-max", std::to_string(legacy_max));
+  results.SetMeta("replications", std::to_string(replications));
+  results.SetMeta("seed", std::to_string(seed));
+
+  ResultTable& table = results.AddTable(
+      "scale", {"config", "nodes", "deaths", "route updates", "events",
+                "wall (s)", "events/s", "repair (s)", "repair %",
+                "speedup vs legacy"});
+
+  const core::MarkovCpuModel model;
+  for (const std::size_t n : sizes) {
+    netsim::NetSimConfig cfg;
+    cfg.network.node.cpu.arrival_rate = rate;
+    cfg.network.node.cpu.service_rate = 10.0 * std::max(rate, 0.1);
+    cfg.network.node.cpu_power = energy::Msp430();
+    cfg.network.node.sample_bits = 1024;
+    cfg.network.node.listen_duty_cycle = 0.01;
+    cfg.network.sink = {0.0, 0.0};
+    cfg.network.max_hop_m = hop;
+    cfg.positions = ScaleTopology(n, spacing);
+    cfg.horizon_s = horizon;
+
+    const double cpu_mw = netsim::CpuAveragePowerMw(cfg, model);
+    const node::NodeConfig& tpl = cfg.network.node;
+    const double baseline_mw =
+        cpu_mw + tpl.listen_duty_cycle * tpl.radio.listen_mw +
+        (1.0 - tpl.listen_duty_cycle) * tpl.radio.sleep_mw;
+
+    // Stage the deaths: `doomed` nodes, strided across the deployment
+    // (skipping the sink-adjacent first decile so the network stays
+    // partially connected), get batteries that the continuous baseline
+    // alone empties at instants spread over [0.3, 0.9] * horizon.
+    // Packet energy only moves those deaths earlier; everyone else gets
+    // a battery that comfortably outlives the horizon.
+    const std::size_t doomed = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(death_fraction *
+                                               static_cast<double>(n))));
+    cfg.battery_mah_override.assign(n, 50.0);
+    const std::size_t low = n / 10;
+    for (std::size_t k = 0; k < doomed; ++k) {
+      const std::size_t span = n - low;
+      const std::size_t idx = low + (k * span) / doomed;
+      const double frac = doomed > 1
+                              ? static_cast<double>(k) /
+                                    static_cast<double>(doomed - 1)
+                              : 0.0;
+      const double death_t = horizon * (0.3 + 0.6 * frac);
+      cfg.battery_mah_override[idx] =
+          (baseline_mw / 1000.0) * death_t / (tpl.battery_volts * 3.6);
+    }
+
+    // --- flat: incremental (production) vs legacy (baseline) ---------
+    cfg.routing_update = netsim::RoutingUpdateMode::kIncremental;
+    const ScaleRun inc = TimeRun(cfg, cpu_mw, seed, replications);
+
+    bool ran_legacy = false;
+    ScaleRun legacy;
+    if (n <= legacy_max) {
+      cfg.routing_update = netsim::RoutingUpdateMode::kLegacy;
+      legacy = TimeRun(cfg, cpu_mw, seed, replications);
+      ran_legacy = true;
+      if (legacy.report.events != inc.report.events ||
+          legacy.report.packets.delivered != inc.report.packets.delivered ||
+          legacy.deaths != inc.deaths) {
+        throw util::Error(
+            "netsim-scale: legacy and incremental routing paths diverged "
+            "at N=" + std::to_string(n));
+      }
+    }
+
+    // --- clustered (LEACH) on the same topology ----------------------
+    netsim::NetSimConfig ccfg = cfg;
+    ccfg.routing_update = netsim::RoutingUpdateMode::kIncremental;
+    ccfg.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
+    ccfg.cluster.head_fraction = 0.05;
+    ccfg.cluster.round_s = round_s;
+    ccfg.cluster.aggregation = 4;
+    const ScaleRun clustered = TimeRun(ccfg, cpu_mw, seed, replications);
+
+    const auto add_row = [&](const std::string& mode, const ScaleRun& run,
+                             const std::string& speedup) {
+      const double events = static_cast<double>(run.report.events);
+      table.AddRow(
+          {"N=" + std::to_string(n) + " " + mode, std::to_string(n),
+           std::to_string(run.deaths),
+           std::to_string(run.report.routing_repairs),
+           std::to_string(run.report.events),
+           util::FormatFixed(run.wall_s, 3),
+           util::FormatFixed(events / run.wall_s, 0),
+           util::FormatFixed(run.report.routing_repair_s, 3),
+           util::FormatFixed(
+               100.0 * run.report.routing_repair_s / run.wall_s, 1),
+           speedup});
+    };
+    if (ran_legacy) {
+      add_row("flat-legacy", legacy, "1.00");
+      add_row("flat-incremental", inc,
+              util::FormatFixed(legacy.wall_s / inc.wall_s, 2));
+    } else {
+      add_row("flat-incremental", inc, "n/a (legacy skipped)");
+    }
+    add_row("clustered", clustered, "-");
+  }
+
+  results.AddNote(
+      "flat-legacy re-routes a death with the pre-grid all-pairs scan "
+      "(O(N^2), one sqrt per pair); flat-incremental repairs only the "
+      "routes through the dead node over the spatial-grid neighbour "
+      "index.  Both paths must produce identical reports — the run "
+      "aborts on divergence.  Timings are wall-clock and "
+      "machine-dependent; diff two JSON outputs with "
+      "tools/bench_compare.py.");
+  return results;
+}
+
+const ScenarioRegistrar reg_netsim_scale(MakeScenario(
+    "netsim-scale",
+    "scaling benchmark: grid-indexed incremental routing repair vs the "
+    "legacy full recompute at N up to 10k, flat and clustered",
+    "extension (engineering benchmark, BENCH_netsim_scale.json)",
+    {
+        {"sizes", "CSV", "100,1000,5000,10000",
+         "comma-separated node counts"},
+        {"spacing", "M", "15", "grid spacing (m)"},
+        {"hop", "M", "40", "max radio hop range (m)"},
+        {"rate", "L", "0.01", "per-node report rate (1/s)"},
+        {"horizon", "S", "2000", "simulation horizon (s)"},
+        {"death-fraction", "F", "0.08",
+         "fraction of nodes staged to die inside the horizon"},
+        {"legacy-max", "N", "5000",
+         "largest N that also runs the O(N^2) legacy baseline"},
+        {"replications", "R", "1", "replications per configuration (>= 1)"},
+        {"seed", "N", "2008", "master RNG seed (non-negative)"},
+        {"round", "S", "", "cluster round length (s); default horizon/20"},
+    },
+    RunNetsimScale));
+
+}  // namespace
+}  // namespace wsn::scenario

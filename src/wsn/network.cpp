@@ -10,9 +10,13 @@ namespace wsn::node {
 using util::Require;
 
 double Distance(const Position& a, const Position& b) noexcept {
+  return std::sqrt(Distance2(a, b));
+}
+
+double Distance2(const Position& a, const Position& b) noexcept {
   const double dx = a.x - b.x;
   const double dy = a.y - b.y;
-  return std::sqrt(dx * dx + dy * dy);
+  return dx * dx + dy * dy;
 }
 
 Network::Network(NetworkConfig config, std::vector<Position> positions)
@@ -28,9 +32,10 @@ std::size_t Network::NextHop(std::size_t i) const {
 
   std::size_t best = i;
   double best_remaining = to_sink;
+  const double hop2 = config_.max_hop_m * config_.max_hop_m;
   for (std::size_t j = 0; j < positions_.size(); ++j) {
     if (j == i) continue;
-    if (Distance(positions_[i], positions_[j]) > config_.max_hop_m) continue;
+    if (Distance2(positions_[i], positions_[j]) > hop2) continue;
     const double remaining = Distance(positions_[j], config_.sink);
     if (remaining < best_remaining) {
       best_remaining = remaining;

@@ -18,6 +18,12 @@ struct Position {
 
 double Distance(const Position& a, const Position& b) noexcept;
 
+/// Squared Euclidean distance (m^2): the comparison-only form of
+/// Distance.  Range tests and nearest-of searches compare in distance^2
+/// (sqrt is monotone, so the argmin is the same node) and take one sqrt
+/// only when the metric value itself is needed.
+double Distance2(const Position& a, const Position& b) noexcept;
+
 struct NetworkConfig {
   NodeConfig node;          ///< template configuration for every node
   Position sink{0.0, 0.0};

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
 """Diff two BENCH_*.json files produced by the scenario engine.
 
-Stub comparator for the perf trajectory: loads two scenario-JSON
-documents (``wsnctl run bench-hotpath --format=json``), matches tables by
-name and rows by their first cell, and prints per-cell deltas for every
-numeric column.  Exit code 0 always — this tool reports, it does not
-gate; wire thresholds into CI once enough history exists.
+Comparator for the perf trajectory: loads two scenario-JSON documents
+(``wsnctl run bench-hotpath --format=json``, ``wsnctl run netsim-scale
+--format=json``, ...), matches tables by name and rows by their first
+cell, and prints per-cell deltas for every numeric column.
 
-Usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
+With ``--warn-drop=PCT`` it additionally prints a ``WARNING:`` line for
+every throughput-like column (header containing ``speedup`` or ending in
+``/s``) where the candidate dropped more than PCT percent below the
+baseline.  The warning is *soft*: the exit code stays 0 — timings are
+machine-dependent, so CI surfaces regressions without gating on them.
+Wire hard thresholds in once enough same-machine history exists.
+
+Usage: tools/bench_compare.py [--warn-drop=PCT] BASELINE.json CANDIDATE.json
 """
 import json
 import sys
@@ -31,12 +37,30 @@ def as_float(cell):
         return None
 
 
+def throughput_like(label):
+    label = label.lower()
+    return "speedup" in label or label.rstrip(")").endswith("/s")
+
+
 def main(argv):
-    if len(argv) != 3:
+    warn_drop = None
+    args = []
+    for arg in argv[1:]:
+        if arg.startswith("--warn-drop="):
+            warn_drop = as_float(arg.split("=", 1)[1])
+            if warn_drop is None or warn_drop < 0:
+                print(f"bad --warn-drop value in {arg!r}: expected a "
+                      "non-negative percentage", file=sys.stderr)
+                print(__doc__.strip(), file=sys.stderr)
+                return 2
+        else:
+            args.append(arg)
+    if len(args) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    baseline, candidate = load(argv[1]), load(argv[2])
+    baseline, candidate = load(args[0]), load(args[1])
 
+    warnings = 0
     for name in sorted(set(baseline) | set(candidate)):
         if name not in baseline or name not in candidate:
             where = "baseline" if name in baseline else "candidate"
@@ -56,6 +80,15 @@ def main(argv):
                 pct = (fc - fb) / fb * 100.0 if fb else float("inf")
                 label = headers[col] if col < len(headers) else f"col{col}"
                 print(f"  {key} / {label}: {fb:g} -> {fc:g} ({pct:+.1f}%)")
+                if (warn_drop is not None and throughput_like(label)
+                        and fb > 0 and pct < -warn_drop):
+                    warnings += 1
+                    print(f"  WARNING: possible regression in {name!r} / "
+                          f"{key} / {label}: {pct:+.1f}% "
+                          f"(threshold -{warn_drop:g}%)")
+    if warnings:
+        print(f"{warnings} soft regression warning(s); exit code stays 0 "
+              "(timings are machine-dependent)")
     return 0
 
 
