@@ -21,6 +21,7 @@ std::uint32_t Simulator::AcquireSlot() {
   if (free_head_ != kNoFreeSlot) {
     const std::uint32_t slot = free_head_;
     free_head_ = slab_[slot].next_free;
+    ++slab_reuses_;
     return slot;
   }
   Require(slab_.size() < kEventSlotMask,
@@ -48,6 +49,7 @@ EventId Simulator::ScheduleAt(double time, Action action) {
   rec.action = std::move(action);
   queue_->Push(time, id);
   ++live_;
+  if (live_ > live_hwm_) live_hwm_ = live_;
   return id;
 }
 
@@ -65,6 +67,7 @@ bool Simulator::Cancel(EventId id) {
   queue_->Cancel(id);
   ReleaseSlot(static_cast<std::uint32_t>(slot));
   --live_;
+  ++cancelled_;
   return true;
 }
 

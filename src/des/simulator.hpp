@@ -69,6 +69,24 @@ class Simulator {
   /// peak number of simultaneously pending events this kernel has seen).
   std::size_t SlabSlots() const noexcept { return slab_.size(); }
 
+  /// Kernel counters for the obs metrics layer.  All maintained as plain
+  /// unconditional increments on fields the hot path already touches, so
+  /// they cost the same whether or not anyone reads them.
+  struct KernelStats {
+    std::uint64_t scheduled = 0;    ///< events ever scheduled
+    std::uint64_t fired = 0;        ///< events fired
+    std::uint64_t cancelled = 0;    ///< events cancelled before firing
+    std::uint64_t slab_reuses = 0;  ///< slot acquisitions served by the
+                                    ///< free list (vs slab growth)
+    std::uint64_t live_hwm = 0;     ///< peak simultaneously pending events
+    std::uint64_t slab_slots = 0;   ///< event-record slab size
+  };
+
+  KernelStats Stats() const noexcept {
+    return {next_seq_ - 1, processed_, cancelled_,
+            slab_reuses_,  live_hwm_,  slab_.size()};
+  }
+
  private:
   struct EventRecord {
     InlineAction action;
@@ -89,6 +107,9 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t live_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t slab_reuses_ = 0;
+  std::uint64_t live_hwm_ = 0;
 };
 
 }  // namespace wsn::des

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wsn::netsim {
@@ -24,6 +25,7 @@ void NodeClass::Validate() const {
 
 ClusterAssignment AssignToNearestHead(const ClusterView& view,
                                       std::vector<std::size_t> heads) {
+  obs::PhaseTimer timer(view.assign_stopwatch);
   const std::size_t n = view.Size();
   std::sort(heads.begin(), heads.end());
   ClusterAssignment out;

@@ -34,6 +34,10 @@
 #include "util/rng.hpp"
 #include "wsn/network.hpp"
 
+namespace wsn::obs {
+struct Stopwatch;
+}  // namespace wsn::obs
+
 namespace wsn::netsim {
 
 /// A named hardware profile a node can be instantiated from.
@@ -63,6 +67,12 @@ struct ClusterView {
   const std::vector<bool>* alive = nullptr;                ///< liveness mask
   /// Remaining battery fraction per node in [0, 1] (0 for dead nodes).
   const std::vector<double>* energy_fraction = nullptr;
+
+  /// When set, AssignToNearestHead accumulates its wall-clock cost here
+  /// (the ROADMAP's suspected O(N·heads) straggler — see
+  /// docs/observability.md, metric netsim.cluster.assign_wall_s).  Null
+  /// keeps the call untimed.
+  obs::Stopwatch* assign_stopwatch = nullptr;
 
   /// Number of nodes in the deployment.
   std::size_t Size() const noexcept { return positions->size(); }

@@ -40,7 +40,11 @@ double DutyCycledMac::TxDelay(double now, std::size_t bits,
     const double phase = wake_phase_[receiver];
     const double k = std::ceil((start - phase) / interval);
     const double slot = phase + k * interval;
-    if (slot > start) start = slot;
+    if (slot > start) {
+      ++lpl_.waits;
+      lpl_.wait_s += slot - start;
+      start = slot;
+    }
   }
   return (start - now) + TxDuration(bits);
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -41,6 +42,14 @@ struct MacConfig {
 /// have per-node radios), not here.
 class DutyCycledMac {
  public:
+  /// LPL wakeup accounting: how often a sender had to wait for the
+  /// receiver's wake slot and how long (simulated seconds), for the obs
+  /// metrics layer.  Simulation-time quantities, so deterministic.
+  struct LplStats {
+    std::uint64_t waits = 0;  ///< attempts that waited for a wake slot
+    double wait_s = 0.0;      ///< total simulated wait time
+  };
+
   /// Sentinel receiver index for the (always-awake) sink.
   static constexpr std::size_t kSinkReceiver = static_cast<std::size_t>(-1);
 
@@ -64,9 +73,15 @@ class DutyCycledMac {
   /// Bernoulli(p_loss) draw for one attempt.
   bool AttemptLost(util::Rng& rng) const;
 
+  /// Accumulated LPL wakeup waits (see LplStats).
+  const LplStats& Lpl() const noexcept { return lpl_; }
+
  private:
   MacConfig config_;
   std::vector<double> wake_phase_;  ///< per-node slot phase in [0, interval)
+  /// Mutable: TxDelay is logically const (a timing query) but records
+  /// how much of the delay was LPL wait.
+  mutable LplStats lpl_;
 };
 
 }  // namespace wsn::netsim

@@ -1,7 +1,6 @@
 #include "netsim/netsim.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <unordered_map>
 
 #include "energy/energy_model.hpp"
@@ -152,6 +151,17 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
         2;
     for (NodeRt& node : nodes_) node.stats.timeline.reserve(samples);
   }
+
+  if (config_.obs.metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    // Pre-resolved so OnDeath records through a raw pointer; the range
+    // covers incremental repairs (~us) up to legacy full recomputes.
+    repair_hist_ = metrics_->TimingHist("netsim.routing.repair_latency_s",
+                                        0.0, 0.05, 25);
+  }
+  if (config_.obs.trace.enabled) {
+    trace_ = std::make_unique<obs::TraceSink>(config_.obs.trace);
+  }
 }
 
 NetSimReport NetworkSimulator::Run() {
@@ -196,10 +206,12 @@ NetSimReport NetworkSimulator::Run() {
   report.partition_s = partition_s_;
   report.end_s = end;
   report.events = sim_.ProcessedEvents();
-  report.routing_repairs = routing_repairs_;
-  report.routing_repair_s = routing_repair_s_;
+  report.routing_repairs = repair_sw_.calls;
+  report.routing_repair_s = repair_sw_.seconds;
   report.rounds = rounds_;
   report.elections = elections_;
+  if (metrics_ != nullptr) CollectMetrics(report);
+  if (trace_ != nullptr) report.trace = trace_->TakeText();
   return report;
 }
 
@@ -224,6 +236,7 @@ void NetworkSimulator::OnArrival(std::size_t i) {
   pkt.source = i;
   pkt.created_s = sim_.Now();
   pkt.bits = config_.network.node.sample_bits;
+  TracePacket("gen", i, pkt);
   if (Clustered() && cluster_.IsHead(i)) {
     // A head's own sample joins its aggregation buffer directly — no
     // radio hop from a node to itself.
@@ -245,6 +258,7 @@ void NetworkSimulator::Enqueue(std::size_t i, const Packet& pkt) {
     return;
   }
   node.queue.push_back(pkt);
+  TracePacket("enqueue", i, pkt);
   StartNext(i);
 }
 
@@ -291,6 +305,7 @@ void NetworkSimulator::FinishTx(std::size_t i) {
   // The sender pays for the attempt whatever its fate (this drain may
   // deplete the sender; the in-flight packet still completes the hop).
   DrainDiscrete(i, node.radio.TransmitEnergy(pkt.bits, HopDistanceOf(i)));
+  TracePacket("tx", i, pkt);
 
   if (receiver != RoutingTable::kSink && !nodes_[receiver].alive) {
     DropPacket(i, DropReason::kDeadNextHop, pkt.payload);
@@ -307,6 +322,7 @@ void NetworkSimulator::FinishTx(std::size_t i) {
   } else if (receiver == RoutingTable::kSink) {
     counters_.delivered += pkt.payload;
     nodes_[pkt.source].stats.delivered += pkt.payload;
+    TracePacket("deliver", i, pkt);
   } else if (Clustered()) {
     // In clustered mode every node-to-node hand-off lands at a cluster
     // head, which folds the payload into its aggregation buffer instead
@@ -314,6 +330,7 @@ void NetworkSimulator::FinishTx(std::size_t i) {
     DrainDiscrete(receiver, nodes_[receiver].radio.ReceiveEnergy(pkt.bits));
     ++counters_.forwarded;
     ++nodes_[receiver].stats.forwarded;
+    TracePacket("rx", receiver, pkt);
     if (nodes_[receiver].alive) {
       AbsorbAtHead(receiver, pkt);
     } else {
@@ -327,6 +344,7 @@ void NetworkSimulator::FinishTx(std::size_t i) {
     } else {
       ++counters_.forwarded;
       ++nodes_[receiver].stats.forwarded;
+      TracePacket("rx", receiver, pkt);
       Enqueue(receiver, pkt);
     }
   }
@@ -398,8 +416,11 @@ void NetworkSimulator::OnDeath(std::size_t i) {
     if (config_.stop_at_first_death) Stop();
   }
   if (stopped_) return;
-  const auto repair_start = std::chrono::steady_clock::now();
-  bool repaired = true;
+  // Every death in clustered mode updates routing state (a member death
+  // clears its own uplink, a head death rebuilds or repairs); in flat
+  // mode only rerouting-enabled runs do.
+  const bool repaired = Clustered() || config_.rerouting;
+  obs::PhaseTimer repair_timer(repaired ? &repair_sw_ : nullptr);
   if (Clustered()) {
     if (cluster_.IsHead(i)) {
       if (config_.rerouting) {
@@ -427,16 +448,9 @@ void NetworkSimulator::OnDeath(std::size_t i) {
         routing_.RecomputeLegacy(alive_);
         break;
     }
-  } else {
-    repaired = false;
   }
-  if (repaired) {
-    ++routing_repairs_;
-    routing_repair_s_ +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      repair_start)
-            .count();
-  }
+  const double repair_elapsed = repair_timer.Stop();
+  if (repaired && repair_hist_ != nullptr) repair_hist_->Add(repair_elapsed);
   CheckPartition();
 }
 
@@ -464,6 +478,75 @@ void NetworkSimulator::DropPacket(std::size_t holder, DropReason reason,
                                   std::uint32_t payloads) {
   counters_.Drop(reason, payloads);
   nodes_[holder].stats.dropped += payloads;
+  if (trace_ != nullptr) {
+    // Drops are recorded per (holder, cause, payload count); several call
+    // sites drop whole queues, so no single packet id applies.
+    obs::TraceEvent event;
+    event.t = sim_.Now();
+    event.event = "drop";
+    event.node = holder;
+    event.payload = payloads;
+    event.has_payload = true;
+    event.cause = DropReasonName(reason);
+    trace_->Record(event);
+  }
+}
+
+void NetworkSimulator::TracePacket(const char* event_name, std::size_t node,
+                                   const Packet& pkt) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent event;
+  event.t = sim_.Now();
+  event.event = event_name;
+  event.node = node;
+  event.packet = pkt.id;
+  event.has_packet = true;
+  event.source = pkt.source;
+  event.has_source = true;
+  event.payload = pkt.payload;
+  event.has_payload = true;
+  trace_->Record(event);
+}
+
+void NetworkSimulator::CollectMetrics(NetSimReport& report) {
+  obs::MetricsRegistry& reg = *metrics_;
+  const des::Simulator::KernelStats kernel = sim_.Stats();
+  *reg.Counter("des.events.scheduled") += kernel.scheduled;
+  *reg.Counter("des.events.fired") += kernel.fired;
+  *reg.Counter("des.events.cancelled") += kernel.cancelled;
+  *reg.Counter("des.slab.reuses") += kernel.slab_reuses;
+  reg.GaugeMax("des.queue.live_hwm", static_cast<double>(kernel.live_hwm));
+  reg.GaugeMax("des.slab.slots", static_cast<double>(kernel.slab_slots));
+
+  *reg.Counter("netsim.packets.generated") += counters_.generated;
+  *reg.Counter("netsim.packets.delivered") += counters_.delivered;
+  *reg.Counter("netsim.packets.forwarded") += counters_.forwarded;
+  *reg.Counter("netsim.packets.retransmissions") += counters_.retransmissions;
+  for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+    const auto reason = static_cast<DropReason>(r);
+    *reg.Counter(std::string("netsim.drops.") + DropReasonName(reason)) +=
+        counters_.Dropped(reason);
+  }
+  std::uint64_t deaths = 0;
+  for (const NodeRt& node : nodes_) {
+    if (!node.alive) ++deaths;
+  }
+  *reg.Counter("netsim.deaths") += deaths;
+  *reg.Counter("netsim.routing.repairs") += repair_sw_.calls;
+  *reg.Counter("netsim.cluster.rounds") += rounds_;
+  *reg.Counter("netsim.cluster.elections") += elections_;
+  *reg.Counter("netsim.mac.lpl_waits") += mac_.Lpl().waits;
+  *reg.Sum("netsim.mac.lpl_wait_s") += mac_.Lpl().wait_s;
+  if (trace_ != nullptr) {
+    *reg.Counter("obs.trace.events") += trace_->Events();
+    if (trace_->Truncated()) *reg.Counter("obs.trace.truncated") += 1;
+  }
+
+  reg.Timing("netsim.routing.repair_wall_s")->MergeFrom(repair_sw_);
+  reg.Timing("netsim.cluster.election_wall_s")->MergeFrom(election_sw_);
+  reg.Timing("netsim.cluster.assign_wall_s")->MergeFrom(assign_sw_);
+
+  report.metrics = reg.Snapshot();
 }
 
 void NetworkSimulator::TimelineTick() {
@@ -511,13 +594,19 @@ void NetworkSimulator::ElectClusters(bool repair) {
   view.sinks = &routing_.Sinks();
   view.alive = &alive_;
   view.energy_fraction = &energy_fraction_;
+  view.assign_stopwatch = &assign_sw_;
 
+  // Election cost = protocol decision + member assignment + route
+  // rebuild; the post-election queue wakeups below are ordinary TX work,
+  // not election overhead, so they stay outside the timer.
+  obs::PhaseTimer election_timer(&election_sw_);
   cluster_ = repair ? protocol_->Repair(cluster_, round_, view, rng_)
                     : protocol_->Elect(round_, view, rng_);
   ++elections_;
   if (!repair) ++rounds_;
   for (std::size_t h : cluster_.heads) ++nodes_[h].stats.head_elections;
   RebuildClusterRoutes();
+  election_timer.Stop();
   // Routes may have appeared (a repaired head) — wake up waiting queues.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].alive && !nodes_[i].queue.empty()) StartNext(i);

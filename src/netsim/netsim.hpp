@@ -49,6 +49,8 @@
 #include "netsim/mac.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/routing.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "wsn/network.hpp"
 
@@ -103,6 +105,11 @@ struct NetSimConfig {
 
   /// Event-queue implementation for the underlying DES kernel.
   des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
+
+  /// Observability switches (metrics registry, packet trace); both off
+  /// by default, which keeps the hot path exactly as fast as before the
+  /// obs layer existed (pinned by the disabled-mode tests).
+  obs::ObsConfig obs;
 
   /// Per-node generator of *reported* packets.  Null means steady Poisson
   /// at arrival_rate * report_fraction, matching the analytic model.  The
@@ -180,6 +187,14 @@ struct NetSimReport {
   /// cluster-head deaths (0 in flat mode).
   std::uint64_t elections = 0;
 
+  /// Metrics snapshot of this replication (empty unless
+  /// NetSimConfig::obs.metrics; see docs/observability.md for the metric
+  /// name catalogue).
+  obs::MetricsSnapshot metrics;
+  /// JSONL packet-lifecycle trace (empty unless
+  /// NetSimConfig::obs.trace.enabled).
+  std::string trace;
+
   /// Payloads delivered / packets generated (1.0 when none generated).
   double DeliveryRatio() const noexcept { return packets.DeliveryRatio(); }
 };
@@ -233,6 +248,10 @@ class NetworkSimulator {
   void TimelineTick();
   void Stop();
 
+  // Observability (all guarded by null checks; no-ops when disabled).
+  void TracePacket(const char* event, std::size_t node, const Packet& pkt);
+  void CollectMetrics(NetSimReport& report);
+
   // Clustered-mode machinery (no-ops in flat mode).
   bool Clustered() const noexcept { return protocol_ != nullptr; }
   std::size_t Receiver(std::size_t i) const;
@@ -258,8 +277,19 @@ class NetworkSimulator {
   bool stopped_ = false;
   double stop_time_s_ = 0.0;
   bool ran_ = false;
-  std::uint64_t routing_repairs_ = 0;
-  double routing_repair_s_ = 0.0;
+
+  // Always-on wall-clock probes (clock reads only at rare events —
+  // deaths and elections — never per packet).  repair_sw_ feeds the
+  // report's routing_repairs / routing_repair_s fields, so those survive
+  // with observability off; the registry snapshots them additionally.
+  obs::Stopwatch repair_sw_;    ///< death-triggered route updates
+  obs::Stopwatch election_sw_;  ///< protocol Elect/Repair + route rebuild
+  obs::Stopwatch assign_sw_;    ///< AssignToNearestHead (via ClusterView)
+
+  // Opt-in observability state (null when disabled).
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceSink> trace_;
+  util::Histogram* repair_hist_ = nullptr;  ///< owned by *metrics_
 
   // Clustered-mode state.
   std::unique_ptr<ClusteringProtocol> protocol_;  ///< null in flat mode

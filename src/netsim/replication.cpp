@@ -12,7 +12,7 @@ ReplicationSummary Summarize(std::vector<NetSimReport> reports,
                              const ReplicationConfig& rep) {
   ReplicationSummary out;
   out.replications = reports.size();
-  for (const NetSimReport& report : reports) {
+  for (NetSimReport& report : reports) {
     if (std::isfinite(report.first_death_s)) {
       out.first_death_s.stats.Add(report.first_death_s);
     }
@@ -21,6 +21,14 @@ ReplicationSummary Summarize(std::vector<NetSimReport> reports,
     }
     out.delivery_ratio.stats.Add(report.DeliveryRatio());
     out.delivered.stats.Add(static_cast<double>(report.packets.delivered));
+    // Observability outputs combine here, serially and in replication
+    // order — the step that makes --metrics/--trace files independent of
+    // the thread count that produced the replications.
+    out.metrics.MergeFrom(report.metrics);
+    out.trace += report.trace;
+    if (!rep.keep_reports) {
+      report.trace.clear();  // don't keep a second copy alive
+    }
   }
   for (MetricSummary* m : {&out.first_death_s, &out.partition_s,
                            &out.delivery_ratio, &out.delivered}) {
@@ -41,8 +49,12 @@ std::vector<NetSimReport> RunAll(const NetSimConfig& config,
                                  util::ParallelExecutor& executor) {
   util::Require(rep.replications > 0, "need at least one replication");
   return executor.MapSeeded(
-      rep.replications, rep.seed, [&](std::size_t, util::Rng stream) {
-        NetworkSimulator sim(config, cpu_power_mw, stream);
+      rep.replications, rep.seed, [&](std::size_t r, util::Rng stream) {
+        NetSimConfig c = config;
+        // Stamp the replication index into every trace line so the
+        // concatenated file stays attributable (and mergeable) later.
+        c.obs.trace.replication = static_cast<std::uint32_t>(r);
+        NetworkSimulator sim(std::move(c), cpu_power_mw, stream);
         return sim.Run();
       });
 }

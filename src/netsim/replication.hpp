@@ -46,6 +46,14 @@ struct ReplicationSummary {
   MetricSummary delivered;        ///< samples delivered, over all reps
   std::size_t replications = 0;   ///< batch size actually run
   std::vector<NetSimReport> reports;  ///< filled when keep_reports
+
+  /// Per-replication metrics merged in replication order (empty unless
+  /// NetSimConfig::obs.metrics) — deterministic across thread counts.
+  obs::MetricsSnapshot metrics;
+  /// Per-replication traces concatenated in replication order (empty
+  /// unless NetSimConfig::obs.trace.enabled); each line carries its
+  /// replication index, so the concatenation is self-describing.
+  std::string trace;
 };
 
 /// Run on an existing executor (reused across calls, e.g. by the

@@ -1,0 +1,54 @@
+#include "obs/session.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wsn::obs {
+
+namespace {
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw util::Error("cannot open output file: " + path);
+  out << content;
+  out.flush();
+  if (!out) throw util::Error("failed writing output file: " + path);
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  options_.trace.enabled = TraceEnabled();
+  if (options_.trace.enabled) options_.trace.Validate();
+}
+
+ObsConfig Session::MakeConfig() const {
+  ObsConfig config;
+  config.metrics = MetricsEnabled();
+  config.trace = options_.trace;
+  return config;
+}
+
+void Session::Contribute(const MetricsSnapshot& snapshot,
+                         const std::string& trace) {
+  merged_.MergeFrom(snapshot);
+  trace_ += trace;
+}
+
+std::string Session::MetricsJson() const {
+  util::JsonWriter w(2);
+  w.BeginObject();
+  w.Key("schema").String("wsn-metrics-v1");
+  merged_.WriteJson(w, /*include_timings=*/options_.metrics_timings);
+  w.EndObject();
+  return w.Str();
+}
+
+void Session::WriteFiles() const {
+  if (MetricsEnabled()) WriteFile(options_.metrics_path, MetricsJson() + "\n");
+  if (TraceEnabled()) WriteFile(options_.trace_path, trace_);
+}
+
+}  // namespace wsn::obs

@@ -1,0 +1,66 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wsn::obs {
+
+void TraceConfig::Validate() const {
+  util::Require(until_s > from_s, "trace window must be non-empty");
+  util::Require(max_events >= 1, "trace event cap must be at least 1");
+}
+
+TraceSink::TraceSink(TraceConfig config) : config_(std::move(config)) {
+  config_.Validate();
+  nodes_ = config_.nodes;
+  std::sort(nodes_.begin(), nodes_.end());
+  nodes_.erase(std::unique(nodes_.begin(), nodes_.end()), nodes_.end());
+}
+
+bool TraceSink::Accepts(double t, std::size_t node) const noexcept {
+  if (t < config_.from_s || t >= config_.until_s) return false;
+  if (!nodes_.empty() &&
+      !std::binary_search(nodes_.begin(), nodes_.end(), node)) {
+    return false;
+  }
+  return true;
+}
+
+void TraceSink::Record(const TraceEvent& event) {
+  if (!Accepts(event.t, event.node)) return;
+  if (events_ >= config_.max_events) {
+    truncated_ = true;
+    return;
+  }
+  ++events_;
+  text_ += "{\"rep\":";
+  text_ += std::to_string(config_.replication);
+  text_ += ",\"t\":";
+  text_ += util::JsonNumber(event.t);
+  text_ += ",\"ev\":\"";
+  text_ += event.event;  // literal event kinds need no escaping
+  text_ += "\",\"node\":";
+  text_ += std::to_string(event.node);
+  if (event.has_packet) {
+    text_ += ",\"pkt\":";
+    text_ += std::to_string(event.packet);
+  }
+  if (event.has_source) {
+    text_ += ",\"src\":";
+    text_ += std::to_string(event.source);
+  }
+  if (event.has_payload) {
+    text_ += ",\"payload\":";
+    text_ += std::to_string(event.payload);
+  }
+  if (event.cause != nullptr) {
+    text_ += ",\"cause\":\"";
+    text_ += util::JsonEscape(event.cause);
+    text_ += "\"";
+  }
+  text_ += "}\n";
+}
+
+}  // namespace wsn::obs

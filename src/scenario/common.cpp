@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "obs/session.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 
@@ -57,6 +58,17 @@ std::string ObservedCell(std::size_t observed, std::size_t total) {
 std::string MetricCell(const netsim::MetricSummary& metric, int precision) {
   if (metric.observed == 0) return "n/a";
   return util::FormatInterval(metric.ci.mean, metric.ci.half_width, precision);
+}
+
+void ApplyObs(const ScenarioContext& ctx, netsim::NetSimConfig& config) {
+  if (ctx.obs == nullptr) return;
+  config.obs = ctx.obs->MakeConfig();
+}
+
+void ContributeObs(const ScenarioContext& ctx,
+                   const netsim::ReplicationSummary& summary) {
+  if (ctx.obs == nullptr) return;
+  ctx.obs->Contribute(summary.metrics, summary.trace);
 }
 
 }  // namespace wsn::scenario

@@ -11,6 +11,7 @@
 #include "core/experiment.hpp"
 #include "core/params.hpp"
 #include "netsim/replication.hpp"
+#include "scenario/scenario.hpp"
 #include "util/cli.hpp"
 
 namespace wsn::scenario {
@@ -50,5 +51,15 @@ std::string ObservedCell(std::size_t observed, std::size_t total);
 /// "mean +- half_width" cell for a replication metric, or "n/a" when the
 /// metric was observed in no replication (no death / no partition).
 std::string MetricCell(const netsim::MetricSummary& metric, int precision);
+
+/// Turn on the wsnctl observability session's switches (--metrics /
+/// --trace) for one netsim run.  No-op when no session is active, so
+/// the config keeps its zero-overhead defaults.
+void ApplyObs(const ScenarioContext& ctx, netsim::NetSimConfig& config);
+
+/// Contribute a finished replication batch's merged metrics snapshot and
+/// concatenated trace to the session.  No-op when no session is active.
+void ContributeObs(const ScenarioContext& ctx,
+                   const netsim::ReplicationSummary& summary);
 
 }  // namespace wsn::scenario

@@ -2,10 +2,14 @@
 
 #include <cstdio>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <vector>
 
+#include "obs/session.hpp"
 #include "scenario/scenario.hpp"
 #include "util/error.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 
 namespace wsn::scenario {
@@ -17,7 +21,54 @@ std::vector<util::FlagSpec> GlobalFlags() {
       {"threads", "T", "0",
        "worker threads for the sweep/replication grid (0 = hardware)"},
       {"format", "FMT", "table", "output format: table, csv or json"},
+      {"metrics", "PATH", "",
+       "write the merged obs metrics registry as JSON to PATH"},
+      {"metrics-timings", "", "",
+       "include wall-clock timing sections in the metrics file "
+       "(machine-dependent, so off by default)"},
+      {"trace", "PATH", "",
+       "write the packet-lifecycle trace as JSONL to PATH"},
+      {"trace-nodes", "CSV", "",
+       "trace only these node indices (comma-separated; empty = all)"},
+      {"trace-from", "S", "0", "trace events at simulated time >= S"},
+      {"trace-until", "S", "inf", "trace events at simulated time < S"},
+      {"trace-max", "N", "1000000", "max trace lines per replication"},
+      {"log-level", "LVL", "warn",
+       "log threshold: debug, info, warn, error or off"},
   };
+}
+
+/// "3,17,42" -> {3, 17, 42}; throws InvalidArgument on junk.
+std::vector<std::size_t> ParseNodeList(const std::string& csv) {
+  std::vector<std::size_t> nodes;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    try {
+      std::size_t consumed = 0;
+      const unsigned long long v = std::stoull(token, &consumed);
+      util::Require(consumed == token.size(), "trailing junk");
+      nodes.push_back(static_cast<std::size_t>(v));
+    } catch (const std::exception&) {
+      throw util::InvalidArgument("--trace-nodes: bad node index '" + token +
+                                  "'");
+    }
+  }
+  return nodes;
+}
+
+obs::SessionOptions ObsOptionsFromArgs(const util::CliArgs& args) {
+  obs::SessionOptions options;
+  options.metrics_path = args.GetString("metrics", "");
+  options.metrics_timings = args.GetBool("metrics-timings");
+  options.trace_path = args.GetString("trace", "");
+  options.trace.nodes = ParseNodeList(args.GetString("trace-nodes", ""));
+  options.trace.from_s = args.GetDouble("trace-from", 0.0);
+  options.trace.until_s = args.GetDouble(
+      "trace-until", std::numeric_limits<double>::infinity());
+  options.trace.max_events = args.GetCount("trace-max", 1'000'000, 1);
+  return options;
 }
 
 std::vector<util::FlagSpec> AllFlags(const Scenario& scenario) {
@@ -51,14 +102,23 @@ int RunOne(const Scenario& scenario, const util::CliArgs& args,
         "' (flags are written --name=value; run with --help)");
   }
   util::RequireKnownFlags(args, AllFlags(scenario));
+  util::SetLogLevel(util::ParseLogLevel(args.GetString("log-level", "warn")));
   const OutputFormat format =
       ParseOutputFormat(args.GetString("format", "table"));
   util::ParallelExecutor executor(args.GetCount("threads", 0));
+  obs::Session obs_session(ObsOptionsFromArgs(args));
 
   ScenarioContext ctx;
   ctx.args = &args;
   ctx.executor = &executor;
+  ctx.obs = obs_session.Enabled() ? &obs_session : nullptr;
   const ResultSet results = scenario.Run(ctx);
+  if (obs_session.MetricsEnabled() && obs_session.Merged().Empty()) {
+    (util::LogWarn() << "scenario contributed no metrics; the --metrics "
+                        "file will hold empty sections")
+        .Kv("scenario", scenario.Name());
+  }
+  obs_session.WriteFiles();
   std::cout << results.Render(format);
   return 0;
 }
@@ -76,8 +136,8 @@ int ListScenarios() {
 const Scenario* FindOrComplain(const std::string& name) {
   const Scenario* s = ScenarioRegistry::Instance().Find(name);
   if (s == nullptr) {
-    std::cerr << "error: unknown scenario '" << name
-              << "' (see `wsnctl list`)\n";
+    (util::LogError() << "unknown scenario (see `wsnctl list`)")
+        .Kv("scenario", name);
   }
   return s;
 }
@@ -120,10 +180,10 @@ int WsnctlMain(int argc, const char* const* argv) {
       if (s == nullptr) return 2;
       return RunOne(*s, args, 2);
     }
-    std::cerr << "error: unknown command '" << command << "'\n";
+    (util::LogError() << "unknown command").Kv("command", command);
     return Usage(std::cerr, 2);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    util::LogError() << e.what();
     return 1;
   }
 }
@@ -133,12 +193,12 @@ int RunScenarioMain(const std::string& name, int argc,
   try {
     const Scenario* s = ScenarioRegistry::Instance().Find(name);
     if (s == nullptr) {
-      std::cerr << "error: scenario '" << name << "' is not registered\n";
+      (util::LogError() << "scenario is not registered").Kv("scenario", name);
       return 2;
     }
     return RunOne(*s, util::CliArgs(argc, argv), 0);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+    util::LogError() << e.what();
     return 1;
   }
 }

@@ -30,6 +30,10 @@
 /// The experiment engine: registered scenarios, structured results and
 /// the shared wsnctl driver plumbing.
 
+namespace wsn::obs {
+class Session;
+}  // namespace wsn::obs
+
 namespace wsn::scenario {
 
 /// Everything a scenario run receives from the driver: the parsed
@@ -37,6 +41,10 @@ namespace wsn::scenario {
 struct ScenarioContext {
   const util::CliArgs* args = nullptr;          ///< parsed flags (non-owning)
   util::ParallelExecutor* executor = nullptr;   ///< fan-out engine (non-owning)
+  /// The wsnctl observability session (--metrics/--trace), or null when
+  /// neither output was requested.  Scenarios that run the network
+  /// simulator participate through scenario::ApplyObs/ContributeObs.
+  obs::Session* obs = nullptr;
 
   /// The parsed command line (must be set).
   const util::CliArgs& Args() const { return *args; }

@@ -24,6 +24,7 @@
 #include <memory>
 #include <queue>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -31,6 +32,7 @@
 
 #include "core/models.hpp"
 #include "des/simulator.hpp"
+#include "obs/session.hpp"
 #include "util/error.hpp"
 #include "markov/transient.hpp"
 #include "netsim/replication.hpp"
@@ -186,6 +188,8 @@ struct KernelRun {
   double wall_s = 0.0;
   std::uint64_t events = 0;
   std::uint64_t checksum = 0;
+  des::Simulator::KernelStats stats{};  // slab kernel only
+  bool has_stats = false;
 };
 
 template <typename Sim>
@@ -200,6 +204,10 @@ KernelRun TimeKernel(std::uint64_t target_events, std::size_t chains,
   run.wall_s = Seconds(start);
   run.events = sim.ProcessedEvents();
   run.checksum = load.Checksum();
+  if constexpr (std::is_same_v<Sim, des::Simulator>) {
+    run.stats = sim.Stats();
+    run.has_stats = true;
+  }
   return run;
 }
 
@@ -246,6 +254,36 @@ ResultSet RunBenchHotpath(const ScenarioContext& ctx) {
                                        slab.wall_s, 0),
                  util::FormatFixed(legacy.wall_s / slab.wall_s, 2)});
 
+  // With an obs session active, fold the slab kernel's deterministic
+  // counters into the bench JSON (keyed rows for bench_compare.py) and
+  // into the --metrics registry.  Gated so the default output — and the
+  // committed BENCH baselines — stay byte-identical.
+  if (ctx.obs != nullptr && ctx.obs->MetricsEnabled() && slab.has_stats) {
+    ResultTable& kmetrics =
+        results.AddTable("kernel-metrics", {"key", "value"});
+    const auto krow = [&](const std::string& name, std::uint64_t v) {
+      kmetrics.AddRow({name, std::to_string(v)});
+    };
+    krow("bench.kernel.scheduled", slab.stats.scheduled);
+    krow("bench.kernel.fired", slab.stats.fired);
+    krow("bench.kernel.cancelled", slab.stats.cancelled);
+    krow("bench.kernel.slab_reuses", slab.stats.slab_reuses);
+    krow("bench.kernel.live_hwm", slab.stats.live_hwm);
+    krow("bench.kernel.slab_slots", slab.stats.slab_slots);
+
+    obs::MetricsSnapshot kernel_metrics;
+    kernel_metrics.counters["bench.kernel.scheduled"] = slab.stats.scheduled;
+    kernel_metrics.counters["bench.kernel.fired"] = slab.stats.fired;
+    kernel_metrics.counters["bench.kernel.cancelled"] = slab.stats.cancelled;
+    kernel_metrics.counters["bench.kernel.slab_reuses"] =
+        slab.stats.slab_reuses;
+    kernel_metrics.gauges["bench.kernel.live_hwm"] =
+        static_cast<double>(slab.stats.live_hwm);
+    kernel_metrics.gauges["bench.kernel.slab_slots"] =
+        static_cast<double>(slab.stats.slab_slots);
+    ctx.obs->Contribute(kernel_metrics, std::string());
+  }
+
   // --- netsim replication rate --------------------------------------
   netsim::NetSimConfig net;
   net.network.node.cpu.arrival_rate = 2.0;
@@ -264,10 +302,12 @@ ResultSet RunBenchHotpath(const ScenarioContext& ctx) {
   rep.keep_reports = true;
 
   const core::MarkovCpuModel cpu_model;
+  ApplyObs(ctx, net);
   const auto net_start = std::chrono::steady_clock::now();
   const netsim::ReplicationSummary summary =
       RunReplications(net, cpu_model, rep, ctx.Executor());
   const double net_wall = Seconds(net_start);
+  ContributeObs(ctx, summary);
   std::uint64_t net_events = 0;
   for (const netsim::NetSimReport& report : summary.reports) {
     net_events += report.events;

@@ -127,9 +127,11 @@ ResultSet RunNetsimClustered(const ScenarioContext& ctx) {
 
   netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
   rep.keep_reports = true;  // the rotation/head tables read the reports
+  ApplyObs(ctx, cfg);
   const core::MarkovCpuModel model;
   const netsim::ReplicationSummary summary =
       RunReplications(cfg, model, rep, ctx.Executor());
+  ContributeObs(ctx, summary);
 
   ResultSet results(
       "clustered collection: rotating heads, aggregation, multi-sink");
@@ -285,10 +287,14 @@ ResultSet RunNetsimHeterogeneous(const ScenarioContext& ctx) {
   homogeneous.node_class.clear();
 
   const netsim::ReplicationConfig rep = NetsimRepConfig(args, 16);
+  ApplyObs(ctx, cfg);
+  ApplyObs(ctx, homogeneous);
   const netsim::ReplicationSummary hetero =
       RunReplications(cfg, model, rep, ctx.Executor());
   const netsim::ReplicationSummary homo =
       RunReplications(homogeneous, model, rep, ctx.Executor());
+  ContributeObs(ctx, hetero);
+  ContributeObs(ctx, homo);
 
   // Analytic cross-check on the identical topology and per-node hardware.
   const node::NetworkReport analytic_hetero =
@@ -369,12 +375,18 @@ ResultSet RunClusterAblation(const ScenarioContext& ctx) {
 
   const netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
   const core::MarkovCpuModel model;
+  ApplyObs(ctx, flat);
+  ApplyObs(ctx, still);
+  ApplyObs(ctx, leach);
   const netsim::ReplicationSummary flat_sum =
       RunReplications(flat, model, rep, ctx.Executor());
   const netsim::ReplicationSummary still_sum =
       RunReplications(still, model, rep, ctx.Executor());
   const netsim::ReplicationSummary leach_sum =
       RunReplications(leach, model, rep, ctx.Executor());
+  ContributeObs(ctx, flat_sum);
+  ContributeObs(ctx, still_sum);
+  ContributeObs(ctx, leach_sum);
 
   ResultSet results(
       "cluster ablation: flat vs static heads vs LEACH-style rotation");

@@ -68,10 +68,12 @@ ResultSet RunNetsimLifetime(const ScenarioContext& ctx) {
 
   netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
   rep.keep_reports = true;
+  ApplyObs(ctx, cfg);
 
   const core::MarkovCpuModel model;
   const netsim::ReplicationSummary summary =
       RunReplications(cfg, model, rep, ctx.Executor());
+  ContributeObs(ctx, summary);
 
   ResultSet results("netsim lifetime study: deaths, re-routing, partition");
   results.SetMeta("nodes", std::to_string(cfg.positions.size()));
@@ -179,7 +181,11 @@ ResultSet RunNetsimThroughput(const ScenarioContext& ctx) {
 
   util::ParallelExecutor serial_exec(1);
   const auto [serial, serial_s] = timed(serial_exec);
+  // Observe only the executor leg: contributing both legs would double
+  // every counter for what is conceptually one benchmarked workload.
+  ApplyObs(ctx, cfg);
   const auto [parallel, parallel_s] = timed(ctx.Executor());
+  ContributeObs(ctx, parallel);
 
   const double reps = static_cast<double>(rep.replications);
   ResultTable& table = results.AddTable(

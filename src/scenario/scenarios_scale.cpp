@@ -23,7 +23,6 @@
 // produces the committed scaling record (see docs/performance.md);
 // tools/bench_compare.py diffs two such files.
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -32,6 +31,7 @@
 
 #include "core/models.hpp"
 #include "netsim/netsim.hpp"
+#include "obs/session.hpp"
 #include "scenario/common.hpp"
 #include "scenario/scenario.hpp"
 #include "util/error.hpp"
@@ -85,23 +85,27 @@ struct ScaleRun {
   netsim::NetSimReport report;
   double wall_s = 0.0;
   std::uint64_t deaths = 0;
+  obs::MetricsSnapshot metrics;  ///< merged over reps (obs enabled only)
+  std::string trace;             ///< concatenated (obs enabled only)
 };
 
-ScaleRun TimeRun(const netsim::NetSimConfig& cfg, double cpu_mw,
-                 std::uint64_t seed, std::size_t replications) {
+ScaleRun TimeRun(netsim::NetSimConfig cfg, double cpu_mw, std::uint64_t seed,
+                 std::size_t replications) {
   const util::Rng master(seed);
   ScaleRun out;
+  obs::Stopwatch wall;
   for (std::size_t r = 0; r < replications; ++r) {
+    cfg.obs.trace.replication = static_cast<std::uint32_t>(r);
     netsim::NetworkSimulator sim(cfg, cpu_mw, master.MakeStream(r));
-    const auto start = std::chrono::steady_clock::now();
+    obs::PhaseTimer run_timer(&wall);
     netsim::NetSimReport report = sim.Run();
-    out.wall_s +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
+    run_timer.Stop();
     // Deaths are summed across replications, like every other column.
     for (const netsim::NodeSimStats& node : report.nodes) {
       if (!node.alive) ++out.deaths;
     }
+    out.metrics.MergeFrom(report.metrics);
+    out.trace += report.trace;
     if (r == 0) {
       out.report = std::move(report);
     } else {
@@ -112,6 +116,7 @@ ScaleRun TimeRun(const netsim::NetSimConfig& cfg, double cpu_mw,
       out.report.packets.delivered += report.packets.delivered;
     }
   }
+  out.wall_s = wall.seconds;
   return out;
 }
 
@@ -149,6 +154,16 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
       "scale", {"config", "nodes", "deaths", "route updates", "events",
                 "wall (s)", "events/s", "repair (s)", "repair %",
                 "speedup vs legacy"});
+
+  // With --metrics active the internal obs timings (routing repair,
+  // election, head assignment) join the bench JSON as their own table,
+  // keyed "N=<n> <mode> <metric>" so tools/bench_compare.py can regress
+  // on them like any other row.  Gated on the flag: the default JSON
+  // stays byte-compatible with committed baselines.  Rows are buffered
+  // and the table added after the loop — AddTable invalidates earlier
+  // table references (see result.hpp).
+  const bool want_metrics = ctx.obs != nullptr && ctx.obs->MetricsEnabled();
+  std::vector<std::vector<std::string>> metric_rows;
 
   const core::MarkovCpuModel model;
   for (const std::size_t n : sizes) {
@@ -191,6 +206,8 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
       cfg.battery_mah_override[idx] =
           (baseline_mw / 1000.0) * death_t / (tpl.battery_volts * 3.6);
     }
+
+    ApplyObs(ctx, cfg);
 
     // --- flat: incremental (production) vs legacy (baseline) ---------
     cfg.routing_update = netsim::RoutingUpdateMode::kIncremental;
@@ -235,14 +252,35 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
                100.0 * run.report.routing_repair_s / run.wall_s, 1),
            speedup});
     };
+    const auto add_obs = [&](const std::string& mode, const ScaleRun& run) {
+      if (ctx.obs != nullptr) ctx.obs->Contribute(run.metrics, run.trace);
+      if (!want_metrics) return;
+      const std::string prefix = "N=" + std::to_string(n) + " " + mode + " ";
+      for (const auto& [name, sw] : run.metrics.timings) {
+        metric_rows.push_back({prefix + name,
+                               util::FormatFixed(sw.seconds, 6)});
+        metric_rows.push_back({prefix + name + ".calls",
+                               std::to_string(sw.calls)});
+      }
+    };
     if (ran_legacy) {
       add_row("flat-legacy", legacy, "1.00");
       add_row("flat-incremental", inc,
               util::FormatFixed(legacy.wall_s / inc.wall_s, 2));
+      add_obs("flat-legacy", legacy);
     } else {
       add_row("flat-incremental", inc, "n/a (legacy skipped)");
     }
+    add_obs("flat-incremental", inc);
     add_row("clustered", clustered, "-");
+    add_obs("clustered", clustered);
+  }
+
+  if (want_metrics) {
+    ResultTable& mtable = results.AddTable("metrics", {"key", "value"});
+    for (std::vector<std::string>& row : metric_rows) {
+      mtable.AddRow(std::move(row));
+    }
   }
 
   results.AddNote(

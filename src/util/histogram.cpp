@@ -8,21 +8,35 @@
 
 namespace wsn::util {
 
-Histogram::Histogram(double low, double high, std::size_t bins)
+Histogram::Histogram(double low, double high, std::size_t bins,
+                     HistogramEdgePolicy policy)
     : low_(low), high_(high), width_((high - low) / static_cast<double>(bins)),
-      counts_(bins, 0) {
+      policy_(policy), counts_(bins, 0) {
   Require(bins >= 1, "histogram needs at least one bin");
   Require(high > low, "histogram range must be non-empty");
 }
 
 void Histogram::Add(double x) noexcept {
   ++total_;
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
+  sum_ += x;
   if (x < low_) {
-    ++underflow_;
+    if (policy_ == HistogramEdgePolicy::kClamp) {
+      ++counts_.front();
+    } else {
+      ++underflow_;
+    }
     return;
   }
   if (x >= high_) {
-    ++overflow_;
+    if (policy_ == HistogramEdgePolicy::kClamp) {
+      ++counts_.back();
+    } else {
+      ++overflow_;
+    }
     return;
   }
   auto idx = static_cast<std::size_t>((x - low_) / width_);
@@ -63,6 +77,22 @@ double Histogram::ChiSquare(const std::vector<double>& expected) const {
     stat += d * d / exp_count;
   }
   return stat;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  Require(low_ == other.low_ && high_ == other.high_ &&
+              counts_.size() == other.counts_.size() &&
+              policy_ == other.policy_,
+          "cannot merge histograms with different ranges, bin counts or "
+          "edge policies");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  nan_ += other.nan_;
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 std::string Histogram::Render(std::size_t max_width) const {

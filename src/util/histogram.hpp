@@ -1,5 +1,6 @@
 // Fixed-bin histogram for distribution diagnostics (latency distributions,
-// goodness-of-fit tests in the RNG test suite, workload validation).
+// goodness-of-fit tests in the RNG test suite, workload validation) and
+// the obs metrics layer's fixed-bucket latency/size histograms.
 #pragma once
 
 #include <cstddef>
@@ -8,10 +9,28 @@
 
 namespace wsn::util {
 
-/// Equal-width histogram over [low, high) with overflow/underflow bins.
+/// What Add does with a sample outside [low, high).
+///
+/// Out-of-range policy (pinned by tests/test_histogram.cpp):
+///   * kOverflowBins — the historical behavior: the sample lands in a
+///     dedicated underflow/overflow side bin and no interior bin moves;
+///   * kClamp       — the sample is folded into the first/last interior
+///     bin, so a fixed-range histogram never silently parks tail mass in
+///     an unplotted side bin (the policy the obs metrics histograms use).
+/// NaN samples are never binned under either policy: they increment the
+/// dedicated Nan() counter (and TotalCount()) instead — previously a NaN
+/// fell through both range checks into an undefined float->size_t cast.
+enum class HistogramEdgePolicy {
+  kOverflowBins,  ///< out-of-range samples go to Underflow()/Overflow()
+  kClamp,         ///< out-of-range samples clamp into the edge bins
+};
+
+/// Equal-width histogram over [low, high) with overflow/underflow bins
+/// (or edge clamping — see HistogramEdgePolicy).
 class Histogram {
  public:
-  Histogram(double low, double high, std::size_t bins);
+  Histogram(double low, double high, std::size_t bins,
+            HistogramEdgePolicy policy = HistogramEdgePolicy::kOverflowBins);
 
   void Add(double x) noexcept;
 
@@ -19,10 +38,19 @@ class Histogram {
   std::size_t BinCount(std::size_t i) const;
   std::size_t Underflow() const noexcept { return underflow_; }
   std::size_t Overflow() const noexcept { return overflow_; }
+  /// NaN samples seen (counted in TotalCount, never binned).
+  std::size_t Nan() const noexcept { return nan_; }
   std::size_t Bins() const noexcept { return counts_.size(); }
   double BinLow(std::size_t i) const;
   double BinHigh(std::size_t i) const;
   double BinWidth() const noexcept { return width_; }
+  double Low() const noexcept { return low_; }
+  double High() const noexcept { return high_; }
+  HistogramEdgePolicy Policy() const noexcept { return policy_; }
+
+  /// Sum of every finite sample added (including out-of-range ones) —
+  /// lets consumers report a mean next to the bucketed shape.
+  double Sum() const noexcept { return sum_; }
 
   /// Empirical density of bin i (count / (total * width)).
   double Density(std::size_t i) const;
@@ -32,6 +60,12 @@ class Histogram {
   /// are folded into the first/last bin).
   double ChiSquare(const std::vector<double>& expected) const;
 
+  /// Fold `other` into this histogram, bin by bin.  Both histograms must
+  /// have identical range, bin count and edge policy (throws
+  /// InvalidArgument otherwise) — the deterministic merge the obs layer
+  /// uses to combine per-replication histograms.
+  void Merge(const Histogram& other);
+
   /// ASCII sparkline-style rendering, for example programs.
   std::string Render(std::size_t max_width = 50) const;
 
@@ -39,10 +73,13 @@ class Histogram {
   double low_;
   double high_;
   double width_;
+  HistogramEdgePolicy policy_;
   std::vector<std::size_t> counts_;
   std::size_t underflow_ = 0;
   std::size_t overflow_ = 0;
+  std::size_t nan_ = 0;
   std::size_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace wsn::util

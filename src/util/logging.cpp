@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/error.hpp"
+
 namespace wsn::util {
 namespace {
 
@@ -26,6 +28,26 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+const char* LogLevelName(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    if (name == LogLevelName(level)) return level;
+  }
+  throw InvalidArgument("unknown log level '" + name +
+                        "' (expected debug, info, warn, error or off)");
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;

@@ -92,6 +92,68 @@ TEST(Histogram, RejectsDegenerateConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
 }
 
+TEST(Histogram, ClampPolicyFoldsOutOfRangeIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 4, HistogramEdgePolicy::kClamp);
+  h.Add(-5.0);   // below low -> first bin
+  h.Add(1.0);    // right edge (exclusive) -> last bin
+  h.Add(100.0);  // above high -> last bin
+  h.Add(0.3);    // interior, untouched by the policy
+  EXPECT_EQ(h.BinCount(0), 1u);
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(3), 2u);
+  EXPECT_EQ(h.Underflow(), 0u);
+  EXPECT_EQ(h.Overflow(), 0u);
+  EXPECT_EQ(h.TotalCount(), 4u);
+  // Sum still reflects the raw samples, not the clamped positions.
+  EXPECT_DOUBLE_EQ(h.Sum(), -5.0 + 1.0 + 100.0 + 0.3);
+}
+
+TEST(Histogram, NanSamplesAreCountedButNeverBinned) {
+  for (HistogramEdgePolicy policy :
+       {HistogramEdgePolicy::kOverflowBins, HistogramEdgePolicy::kClamp}) {
+    Histogram h(0.0, 1.0, 4, policy);
+    h.Add(std::nan(""));
+    h.Add(0.5);
+    EXPECT_EQ(h.Nan(), 1u);
+    EXPECT_EQ(h.TotalCount(), 2u);
+    EXPECT_EQ(h.Underflow(), 0u);
+    EXPECT_EQ(h.Overflow(), 0u);
+    std::size_t binned = 0;
+    for (std::size_t b = 0; b < h.Bins(); ++b) binned += h.BinCount(b);
+    EXPECT_EQ(binned, 1u);
+    EXPECT_DOUBLE_EQ(h.Sum(), 0.5);  // NaN is excluded from the sum
+  }
+}
+
+TEST(Histogram, MergeAddsBinwise) {
+  Histogram a(0.0, 1.0, 4);
+  Histogram b(0.0, 1.0, 4);
+  a.Add(0.1);
+  a.Add(-1.0);
+  b.Add(0.1);
+  b.Add(0.9);
+  b.Add(2.0);
+  b.Add(std::nan(""));
+  a.Merge(b);
+  EXPECT_EQ(a.BinCount(0), 2u);
+  EXPECT_EQ(a.BinCount(3), 1u);
+  EXPECT_EQ(a.Underflow(), 1u);
+  EXPECT_EQ(a.Overflow(), 1u);
+  EXPECT_EQ(a.Nan(), 1u);
+  EXPECT_EQ(a.TotalCount(), 6u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.1 - 1.0 + 0.1 + 0.9 + 2.0);
+}
+
+TEST(Histogram, MergeRejectsShapeMismatch) {
+  Histogram a(0.0, 1.0, 4);
+  const Histogram range(0.0, 2.0, 4);
+  const Histogram bins(0.0, 1.0, 8);
+  const Histogram policy(0.0, 1.0, 4, HistogramEdgePolicy::kClamp);
+  EXPECT_THROW(a.Merge(range), InvalidArgument);
+  EXPECT_THROW(a.Merge(bins), InvalidArgument);
+  EXPECT_THROW(a.Merge(policy), InvalidArgument);
+}
+
 TEST(Histogram, RenderProducesOneLinePerBin) {
   Histogram h(0.0, 1.0, 5);
   h.Add(0.1);

@@ -1,6 +1,9 @@
 // TextTable rendering, CSV escaping, CLI flag parsing and log levels.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -195,6 +198,48 @@ TEST(Logging, LevelThresholding) {
   LogInfo() << "suppressed";   // must not crash
   LogError() << "emitted";
   SetLogLevel(old);
+}
+
+TEST(Logging, LevelNamesRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    EXPECT_EQ(ParseLogLevel(LogLevelName(level)), level);
+  }
+  EXPECT_THROW(ParseLogLevel("verbose"), InvalidArgument);
+  EXPECT_THROW(ParseLogLevel("WARN"), InvalidArgument);  // case-sensitive
+}
+
+// Capture std::clog while a LogLine emits, to pin the Kv quoting rules.
+std::string CaptureLog(const std::function<void()>& emit) {
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::clog.rdbuf(captured.rdbuf());
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  emit();
+  SetLogLevel(old_level);
+  std::clog.rdbuf(old_buf);
+  return captured.str();
+}
+
+TEST(Logging, KvAppendsStructuredFields) {
+  const std::string line = CaptureLog([] {
+    (LogWarn() << "no metrics").Kv("scenario", "netsim-scale").Kv("runs", 3);
+  });
+  EXPECT_EQ(line, "[WARN] no metrics scenario=netsim-scale runs=3\n");
+}
+
+TEST(Logging, KvQuotesValuesThatBreakSpaceSplitting) {
+  const std::string line = CaptureLog([] {
+    (LogError() << "bad flag")
+        .Kv("value", "two words")
+        .Kv("expr", "a=b")
+        .Kv("empty", "")
+        .Kv("plain", "ok")
+        .Kv("flag", true);
+  });
+  EXPECT_EQ(line,
+            "[ERROR] bad flag value=\"two words\" expr=\"a=b\" empty=\"\" "
+            "plain=ok flag=true\n");
 }
 
 }  // namespace
