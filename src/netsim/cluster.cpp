@@ -4,12 +4,30 @@
 #include <cmath>
 #include <limits>
 
+#include "netsim/spatial.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wsn::netsim {
 
 using util::Require;
+
+const char* HeadAssignModeName(HeadAssignMode mode) noexcept {
+  switch (mode) {
+    case HeadAssignMode::kGrid:
+      return "grid";
+    case HeadAssignMode::kAllPairs:
+      return "all-pairs";
+  }
+  return "?";
+}
+
+HeadAssignMode ParseHeadAssignMode(const std::string& name) {
+  if (name == "grid") return HeadAssignMode::kGrid;
+  if (name == "all-pairs") return HeadAssignMode::kAllPairs;
+  throw util::InvalidArgument("unknown head-assignment mode '" + name +
+                              "' (expected grid or all-pairs)");
+}
 
 void NodeClass::Validate() const {
   Require(!name.empty(), "node class name must be non-empty");
@@ -23,14 +41,14 @@ void NodeClass::Validate() const {
           "node class radio powers must be non-negative");
 }
 
-ClusterAssignment AssignToNearestHead(const ClusterView& view,
-                                      std::vector<std::size_t> heads) {
-  obs::PhaseTimer timer(view.assign_stopwatch);
+ClusterAssignment AssignToNearestHeadAllPairs(const ClusterView& view,
+                                              std::vector<std::size_t> heads) {
   const std::size_t n = view.Size();
   std::sort(heads.begin(), heads.end());
   ClusterAssignment out;
   out.head_of.assign(n, ClusterAssignment::kUnclustered);
   out.heads = std::move(heads);
+  out.members.assign(out.heads.size(), {});
   for (std::size_t h : out.heads) out.head_of[h] = h;
   if (out.heads.empty()) return out;
   for (std::size_t i = 0; i < n; ++i) {
@@ -39,18 +57,83 @@ ClusterAssignment AssignToNearestHead(const ClusterView& view,
     // the lowest head index, heads being sorted) is the same and no
     // sqrt is ever needed — the metric value itself is not used.
     double best2 = std::numeric_limits<double>::infinity();
-    std::size_t best_head = ClusterAssignment::kUnclustered;
-    for (std::size_t h : out.heads) {
+    std::size_t best_slot = ClusterAssignment::kUnclustered;
+    for (std::size_t s = 0; s < out.heads.size(); ++s) {
       const double d2 = node::Distance2((*view.positions)[i],
-                                        (*view.positions)[h]);
+                                        (*view.positions)[out.heads[s]]);
       if (d2 < best2) {
         best2 = d2;
-        best_head = h;
+        best_slot = s;
       }
     }
-    out.head_of[i] = best_head;
+    out.head_of[i] = out.heads[best_slot];
+    out.members[best_slot].push_back(static_cast<std::uint32_t>(i));
   }
   return out;
+}
+
+ClusterAssignment AssignToNearestHeadGrid(const ClusterView& view,
+                                          std::vector<std::size_t> heads) {
+  const std::size_t n = view.Size();
+  std::sort(heads.begin(), heads.end());
+  ClusterAssignment out;
+  out.head_of.assign(n, ClusterAssignment::kUnclustered);
+  out.heads = std::move(heads);
+  out.members.assign(out.heads.size(), {});
+  for (std::size_t h : out.heads) out.head_of[h] = h;
+  if (out.heads.empty()) return out;
+
+  // Index the (few) heads, not the (many) nodes: compacted head
+  // positions keep the grid tiny and the compacted index order equals
+  // head-index order (heads are sorted), so NearestWhere's lowest-index
+  // tie break is exactly the all-pairs lowest-head-index tie break.
+  const std::size_t k = out.heads.size();
+  std::vector<node::Position> head_pos;
+  head_pos.reserve(k);
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (std::size_t h : out.heads) {
+    const node::Position& p = (*view.positions)[h];
+    head_pos.push_back(p);
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  // Aim for ~1 head per cell: cell = extent / sqrt(k).  Degenerate
+  // extents (all heads colocated) fall back to a unit cell — the grid
+  // collapses to one cell and the query degrades to all-pairs, still
+  // correct.
+  const double extent = std::max(max_x - min_x, max_y - min_y);
+  const double side = std::ceil(std::sqrt(static_cast<double>(k)));
+  double cell = extent > 0.0 ? extent / side : 1.0;
+  if (!(cell > 0.0)) cell = 1.0;
+  const SpatialGrid grid(head_pos, cell);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(*view.alive)[i] || out.head_of[i] == i) continue;
+    const node::Position& p = (*view.positions)[i];
+    const std::size_t j = grid.NearestWhere(
+        p, [&](std::size_t c) { return node::Distance2(p, head_pos[c]); });
+    // j != kNone: heads is non-empty and no candidate is excluded.
+    out.head_of[i] = out.heads[j];
+    out.members[j].push_back(static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+ClusterAssignment AssignToNearestHead(const ClusterView& view,
+                                      std::vector<std::size_t> heads) {
+  obs::PhaseTimer timer(view.assign_stopwatch);
+  // Below a handful of heads the grid build costs more than it saves
+  // and the all-pairs scan is already O(n); the result is identical
+  // either way, so this is a pure perf dispatch.
+  if (view.assign_mode == HeadAssignMode::kAllPairs || heads.size() <= 4) {
+    return AssignToNearestHeadAllPairs(view, std::move(heads));
+  }
+  return AssignToNearestHeadGrid(view, std::move(heads));
 }
 
 namespace {
@@ -69,6 +152,7 @@ std::vector<std::size_t> AliveHeads(const std::vector<std::size_t>& heads,
 /// The alive node with the highest remaining energy fraction (ties break
 /// toward the lowest index); kUnclustered when nothing is alive.
 std::size_t MostChargedAlive(const ClusterView& view) {
+  view.RefreshEnergy();  // the one reader of the lazily-updated energies
   std::size_t best = ClusterAssignment::kUnclustered;
   double best_energy = -1.0;
   for (std::size_t i = 0; i < view.Size(); ++i) {
@@ -84,6 +168,24 @@ std::size_t MostChargedAlive(const ClusterView& view) {
 
 }  // namespace
 
+/// Cached spatial grid over a head set, reused across the many repairs
+/// between elections.  `heads` is the (sorted) head set at build time; it
+/// may contain heads that have since died — queries exclude them through
+/// the alive mask, which preserves the compacted-index (== lowest-head-id)
+/// tie break over the survivors.
+struct ClusteringProtocol::RepairCache {
+  std::vector<std::size_t> heads;   ///< head set at build time, sorted
+  std::vector<node::Position> pos;  ///< positions parallel to `heads`
+  SpatialGrid grid;
+
+  RepairCache(std::vector<std::size_t> h, std::vector<node::Position> p,
+              double cell_m)
+      : heads(std::move(h)), pos(std::move(p)), grid(pos, cell_m) {}
+};
+
+ClusteringProtocol::ClusteringProtocol() = default;
+ClusteringProtocol::~ClusteringProtocol() = default;
+
 ClusterAssignment ClusteringProtocol::Repair(const ClusterAssignment& current,
                                              std::size_t round,
                                              const ClusterView& view,
@@ -91,6 +193,92 @@ ClusterAssignment ClusteringProtocol::Repair(const ClusterAssignment& current,
   std::vector<std::size_t> survivors = AliveHeads(current.heads, *view.alive);
   if (survivors.empty()) return Elect(round, view, rng);
   return AssignToNearestHead(view, std::move(survivors));
+}
+
+bool ClusteringProtocol::RepairInPlace(ClusterAssignment& cluster,
+                                       std::size_t dead_head,
+                                       const ClusterView& view,
+                                       std::vector<std::uint32_t>& reattached) {
+  // Decline when the last head died (the protocol's no-survivor policy —
+  // a fresh Elect — must run) or the assignment carries no member lists.
+  if (cluster.heads.size() <= 1) return false;
+  if (cluster.members.size() != cluster.heads.size()) return false;
+  const auto slot_it =
+      std::lower_bound(cluster.heads.begin(), cluster.heads.end(), dead_head);
+  if (slot_it == cluster.heads.end() || *slot_it != dead_head) return false;
+  const std::size_t slot =
+      static_cast<std::size_t>(slot_it - cluster.heads.begin());
+
+  obs::PhaseTimer timer(view.assign_stopwatch);
+  const std::vector<bool>& alive = *view.alive;
+  const std::vector<node::Position>& positions = *view.positions;
+
+  std::vector<std::uint32_t> orphans = std::move(cluster.members[slot]);
+  cluster.heads.erase(slot_it);
+  cluster.members.erase(cluster.members.begin() +
+                        static_cast<std::ptrdiff_t>(slot));
+  cluster.head_of[dead_head] = ClusterAssignment::kUnclustered;
+
+  // The cache survives a chain of head deaths (dead entries are masked
+  // out per query) and self-invalidates across elections: it is usable
+  // exactly when its alive subset is the head set being repaired.  It is
+  // additionally refreshed once survivors fall below 2/3 of the cached
+  // set — long death cascades otherwise leave the grid mostly dead
+  // entries and every ring query degenerates toward a full scan.  A
+  // rebuild never changes results (the query is an argmin over the same
+  // alive subset, in the same ascending-head order); amortized it costs
+  // O(heads · log(heads)) per cascade.
+  if (!repair_cache_ ||
+      3 * cluster.heads.size() <= 2 * repair_cache_->heads.size() ||
+      AliveHeads(repair_cache_->heads, alive) != cluster.heads) {
+    std::vector<node::Position> head_pos;
+    head_pos.reserve(cluster.heads.size());
+    double min_x = std::numeric_limits<double>::infinity();
+    double min_y = std::numeric_limits<double>::infinity();
+    double max_x = -std::numeric_limits<double>::infinity();
+    double max_y = -std::numeric_limits<double>::infinity();
+    for (std::size_t h : cluster.heads) {
+      const node::Position& p = positions[h];
+      head_pos.push_back(p);
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    // Same ~1-head-per-cell sizing as AssignToNearestHeadGrid.
+    const double extent = std::max(max_x - min_x, max_y - min_y);
+    const double side =
+        std::ceil(std::sqrt(static_cast<double>(cluster.heads.size())));
+    double cell = extent > 0.0 ? extent / side : 1.0;
+    if (!(cell > 0.0)) cell = 1.0;
+    repair_cache_ = std::make_unique<RepairCache>(cluster.heads,
+                                                  std::move(head_pos), cell);
+  }
+  const RepairCache& cache = *repair_cache_;
+
+  // Only the dead head's orphans re-pick: members of surviving heads keep
+  // their argmin (repair never adds heads, and removing non-argmin
+  // candidates cannot change one).  Dead or previously re-attached
+  // entries in the stale-tolerant member list are skipped.
+  for (std::uint32_t m : orphans) {
+    if (!alive[m] || cluster.head_of[m] != dead_head) continue;
+    const node::Position& p = positions[m];
+    const std::size_t j = cache.grid.NearestWhere(p, [&](std::size_t c) {
+      return alive[cache.heads[c]]
+                 ? node::Distance2(p, cache.pos[c])
+                 : std::numeric_limits<double>::infinity();
+    });
+    // j != kNone: at least one surviving head remains and is alive.
+    const std::size_t new_head = cache.heads[j];
+    const std::size_t new_slot = static_cast<std::size_t>(
+        std::lower_bound(cluster.heads.begin(), cluster.heads.end(),
+                         new_head) -
+        cluster.heads.begin());
+    cluster.head_of[m] = new_head;
+    cluster.members[new_slot].push_back(m);
+    reattached.push_back(m);
+  }
+  return true;
 }
 
 LeachClustering::LeachClustering(double head_fraction) : p_(head_fraction) {
@@ -158,18 +346,6 @@ ClusterAssignment StaticClustering::Elect(std::size_t round,
     std::sort(heads_.begin(), heads_.end());
     heads_.erase(std::unique(heads_.begin(), heads_.end()), heads_.end());
   }
-  (void)round;
-  (void)rng;
-  return AssignToNearestHead(view, AliveHeads(heads_, *view.alive));
-}
-
-ClusterAssignment StaticClustering::Repair(const ClusterAssignment& current,
-                                           std::size_t round,
-                                           const ClusterView& view,
-                                           util::Rng& rng) {
-  // No replacement for dead heads — the defining weakness of the static
-  // baseline.  Members fall back to whichever original heads survive.
-  (void)current;
   (void)round;
   (void)rng;
   return AssignToNearestHead(view, AliveHeads(heads_, *view.alive));

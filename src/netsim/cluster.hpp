@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,6 +40,23 @@ struct Stopwatch;
 }  // namespace wsn::obs
 
 namespace wsn::netsim {
+
+/// How AssignToNearestHead finds each member's nearest head.
+///
+/// Mirrors the routing layer's RoutingUpdateMode pattern: the grid path
+/// is the default, the all-pairs path is the slow pinned oracle the grid
+/// path must match bit for bit (same argmin, same lowest-head-index tie
+/// break), kept selectable for equivalence tests and benchmarks.
+enum class HeadAssignMode {
+  kGrid,      ///< ring-search over a spatial grid of the heads, O(k)/node
+  kAllPairs,  ///< scan every head per node, O(heads)/node (oracle)
+};
+
+/// Name of a head-assignment mode ("grid", "all-pairs").
+const char* HeadAssignModeName(HeadAssignMode mode) noexcept;
+
+/// Parse "grid" / "all-pairs"; throws util::InvalidArgument otherwise.
+HeadAssignMode ParseHeadAssignMode(const std::string& name);
 
 /// A named hardware profile a node can be instantiated from.
 ///
@@ -66,13 +84,31 @@ struct ClusterView {
   const std::vector<node::Position>* sinks = nullptr;      ///< sink sites
   const std::vector<bool>* alive = nullptr;                ///< liveness mask
   /// Remaining battery fraction per node in [0, 1] (0 for dead nodes).
+  /// May be stale until RefreshEnergy() runs: the simulator defers the
+  /// per-node division to the (rare) protocols that actually read
+  /// energies, so a plain repair never pays the O(N) refresh.
   const std::vector<double>* energy_fraction = nullptr;
+
+  /// Brings `energy_fraction` current at the election instant.  Set by
+  /// the simulator; protocols must call RefreshEnergy() before reading
+  /// energies.  Unset (e.g. in unit tests) means the vector is already
+  /// current.
+  std::function<void()> refresh_energy;
+
+  /// Invokes `refresh_energy` when set; no-op otherwise.
+  void RefreshEnergy() const {
+    if (refresh_energy) refresh_energy();
+  }
 
   /// When set, AssignToNearestHead accumulates its wall-clock cost here
   /// (the ROADMAP's suspected O(N·heads) straggler — see
   /// docs/observability.md, metric netsim.cluster.assign_wall_s).  Null
   /// keeps the call untimed.
   obs::Stopwatch* assign_stopwatch = nullptr;
+
+  /// Nearest-head search strategy AssignToNearestHead dispatches to.
+  /// Both modes produce identical assignments; kGrid is O(k) per node.
+  HeadAssignMode assign_mode = HeadAssignMode::kGrid;
 
   /// Number of nodes in the deployment.
   std::size_t Size() const noexcept { return positions->size(); }
@@ -85,12 +121,24 @@ struct ClusterAssignment {
   static constexpr std::size_t kUnclustered = static_cast<std::size_t>(-1);
 
   /// head_of[i] is the cluster head serving node i: i itself when node i
-  /// is a head, kUnclustered when no live head exists.  Dead nodes are
-  /// kUnclustered.
+  /// is a head, kUnclustered when no live head exists.  A full election
+  /// or repair resets dead nodes to kUnclustered; RepairInPlace only
+  /// clears the dead *head's* row, so dead members keep their last
+  /// assignment — readers must filter through the alive mask (the
+  /// simulator already does: no path reads a dead node's row).
   std::vector<std::size_t> head_of;
 
   /// Sorted indices of the elected heads (alive by construction).
   std::vector<std::size_t> heads;
+
+  /// members[s] lists the nodes attached to heads[s] (parallel to
+  /// `heads`): filled in node-index order by the assignment helpers,
+  /// appended to by in-place repairs.  Entries are never removed on
+  /// member death — treat them as candidates and filter with an alive /
+  /// head_of check.  An assignment without lists (e.g. built by an
+  /// out-of-tree protocol) simply disables the in-place repair fast
+  /// path.
+  std::vector<std::vector<std::uint32_t>> members;
 
   /// True when node i is one of the elected heads.
   bool IsHead(std::size_t i) const noexcept {
@@ -107,7 +155,8 @@ struct ClusterAssignment {
 /// round.  Both must be deterministic functions of (view, rng state).
 class ClusteringProtocol {
  public:
-  virtual ~ClusteringProtocol() = default;
+  ClusteringProtocol();
+  virtual ~ClusteringProtocol();
 
   /// Protocol name for reports ("leach", "static").
   virtual const char* Name() const noexcept = 0;
@@ -119,21 +168,65 @@ class ClusteringProtocol {
                                   util::Rng& rng) = 0;
 
   /// React to a mid-round cluster-head death.  The default keeps the
-  /// surviving heads of `current` and re-attaches members to the nearest
-  /// one; when no head survives it falls back to a fresh Elect for the
-  /// same round.  Protocols that must not replace dead heads (the static
-  /// baseline) override this.
+  /// surviving heads of `current` (no protocol ever seats a replacement
+  /// mid-round) and re-attaches every member to the nearest one; when no
+  /// head survives it falls back to a fresh Elect for the same round.
+  /// This full O(n) rebuild is the oracle RepairInPlace is pinned
+  /// against, and the fallback when RepairInPlace declines.
   virtual ClusterAssignment Repair(const ClusterAssignment& current,
                                    std::size_t round, const ClusterView& view,
                                    util::Rng& rng);
+
+  /// Repair `cluster` after the death of head `dead_head` *in place*,
+  /// touching only the nodes the death can affect: the dead head's slot
+  /// is erased and its orphaned members re-pick the nearest surviving
+  /// head via a cached spatial grid of the heads.  Members of surviving
+  /// heads keep their assignment — repair never adds heads, and removing
+  /// non-argmin candidates cannot change an argmin — so the result is
+  /// identical to `Repair` over the heads and every alive node (dead
+  /// members' head_of rows stay stale, see ClusterAssignment::head_of)
+  /// at O(members + heads) cost instead of O(n).  Appends each re-attached node (the dead head's
+  /// alive former members — a surviving head always exists for them to
+  /// join) to `reattached`, in no particular order.
+  ///
+  /// Returns false — leaving `cluster` and `reattached` untouched — when
+  /// the fast path does not apply: `dead_head` is not a current head, no
+  /// other head survives (callers must fall back to Repair/Elect so the
+  /// protocol can run its no-survivor policy), or `cluster.members` was
+  /// not populated by the assignment helpers.
+  virtual bool RepairInPlace(ClusterAssignment& cluster, std::size_t dead_head,
+                             const ClusterView& view,
+                             std::vector<std::uint32_t>& reattached);
+
+ private:
+  /// Lazily built spatial grid over the current heads, reused across the
+  /// (often many) repairs between elections.  Self-validating: a repair
+  /// rebuilds it whenever the cached head set no longer matches the
+  /// assignment being repaired.
+  struct RepairCache;
+  std::unique_ptr<RepairCache> repair_cache_;
 };
 
 /// Attach every alive non-head node in `view` to the nearest alive head
 /// in `heads` (Euclidean; ties break toward the lowest head index).
 /// Nodes stay kUnclustered when `heads` is empty.  Shared by the in-tree
-/// protocols and available to out-of-tree ones.
+/// protocols and available to out-of-tree ones.  Dispatches on
+/// `view.assign_mode`; both strategies return identical assignments.
 ClusterAssignment AssignToNearestHead(const ClusterView& view,
                                       std::vector<std::size_t> heads);
+
+/// The all-pairs oracle: every alive non-head node scans every head.
+/// O(n * heads) — the pre-grid implementation, kept verbatim as the
+/// equivalence baseline (the routing layer's RecomputeLegacy pattern).
+ClusterAssignment AssignToNearestHeadAllPairs(const ClusterView& view,
+                                              std::vector<std::size_t> heads);
+
+/// Grid-accelerated search: indexes the heads in a SpatialGrid sized so
+/// cells hold O(1) heads and answers each member with a ring-expanding
+/// nearest query — O(1) expected per node for evenly spread heads,
+/// O(n + heads) per election overall.
+ClusterAssignment AssignToNearestHeadGrid(const ClusterView& view,
+                                          std::vector<std::size_t> heads);
 
 /// LEACH-style rotating election (Heinzelman et al.): each round, every
 /// alive node that has not served as head within the last 1/p rounds
@@ -173,10 +266,11 @@ class StaticClustering final : public ClusteringProtocol {
   ClusterAssignment Elect(std::size_t round, const ClusterView& view,
                           util::Rng& rng) override;
 
-  /// Keeps surviving original heads only — a dead static head is never
-  /// replaced.
-  ClusterAssignment Repair(const ClusterAssignment& current, std::size_t round,
-                           const ClusterView& view, util::Rng& rng) override;
+  // Head deaths use the inherited Repair: it keeps the surviving heads
+  // of `current` — which for this protocol are exactly the surviving
+  // original heads — and when the last one dies, Elect (already chosen)
+  // returns the empty assignment, so a dead static head is never
+  // replaced.
 
  private:
   std::size_t head_count_;
@@ -220,6 +314,10 @@ struct ClusterConfig {
   /// Bits of an aggregated upstream packet; 0 = the template node's
   /// sample_bits (i.e. perfect compression to one sample).
   std::size_t aggregate_bits = 0;
+
+  /// Nearest-head search strategy for elections and repairs.  kAllPairs
+  /// selects the slow oracle — useful only for equivalence checks.
+  HeadAssignMode assign = HeadAssignMode::kGrid;
 
   /// Custom protocol constructor, invoked once per replication (possibly
   /// from worker threads — pure construction only).  Overrides

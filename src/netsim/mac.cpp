@@ -28,8 +28,9 @@ DutyCycledMac::DutyCycledMac(MacConfig config, std::size_t node_count,
   }
 }
 
-double DutyCycledMac::TxDelay(double now, std::size_t bits,
-                              std::size_t receiver, util::Rng& rng) const {
+DutyCycledMac::TxTiming DutyCycledMac::TxFinish(double now, std::size_t bits,
+                                                std::size_t receiver,
+                                                util::Rng& rng) const {
   double start = now;
   if (config_.backoff_window_s > 0.0) {
     start += util::UniformDouble(rng) * config_.backoff_window_s;
@@ -43,10 +44,16 @@ double DutyCycledMac::TxDelay(double now, std::size_t bits,
     if (slot > start) {
       ++lpl_.waits;
       lpl_.wait_s += slot - start;
-      start = slot;
+      // Absolute arithmetic on purpose: `slot + duration` is the same
+      // double for every sender waiting on this slot, whereas
+      // now + ((slot - now) + duration) differs per sender in the last
+      // ulp and would defeat same-timestamp batching.
+      return {slot + TxDuration(bits), true};
     }
   }
-  return (start - now) + TxDuration(bits);
+  // Non-waiting path: keep the historical relative arithmetic bit for
+  // bit (the pinned scenario outputs ride on it).
+  return {now + ((start - now) + TxDuration(bits)), false};
 }
 
 bool DutyCycledMac::AttemptLost(util::Rng& rng) const {

@@ -65,10 +65,22 @@ class DutyCycledMac {
     return static_cast<double>(bits) / config_.bitrate_bps;
   }
 
-  /// Full latency of one attempt started at `now` toward `receiver`:
-  /// backoff + (LPL) wait for the receiver's wake slot + serialization.
-  double TxDelay(double now, std::size_t bits, std::size_t receiver,
-                 util::Rng& rng) const;
+  /// When one attempt completes and why.  `slotted` marks attempts that
+  /// waited for the receiver's LPL wake slot: their `finish_s` is the
+  /// *absolute* `slot + TxDuration(bits)`, computed identically by every
+  /// sender waiting on the same slot, so same-slot completions share one
+  /// bit-identical timestamp — the precondition for batching them into a
+  /// single kernel event (see NetSimConfig::batch_mac_wakeups).
+  struct TxTiming {
+    double finish_s = 0.0;  ///< absolute completion instant
+    bool slotted = false;   ///< true when an LPL wake-slot wait occurred
+  };
+
+  /// Completion time of one attempt started at `now` toward `receiver`:
+  /// now + backoff + (LPL) wait for the receiver's wake slot +
+  /// serialization.
+  TxTiming TxFinish(double now, std::size_t bits, std::size_t receiver,
+                    util::Rng& rng) const;
 
   /// Bernoulli(p_loss) draw for one attempt.
   bool AttemptLost(util::Rng& rng) const;
@@ -79,7 +91,7 @@ class DutyCycledMac {
  private:
   MacConfig config_;
   std::vector<double> wake_phase_;  ///< per-node slot phase in [0, interval)
-  /// Mutable: TxDelay is logically const (a timing query) but records
+  /// Mutable: TxFinish is logically const (a timing query) but records
   /// how much of the delay was LPL wait.
   mutable LplStats lpl_;
 };

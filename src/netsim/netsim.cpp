@@ -113,24 +113,32 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
 
   const std::vector<node::NodeConfig> per_node = PerNodeConfigs(config_);
   const std::size_t n = config_.positions.size();
-  nodes_.reserve(n);
+  battery_.reserve(n);
+  radio_.reserve(n);
+  baseline_mw_.reserve(n);
+  traffic_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const node::NodeConfig& cfg = per_node[i];
-    nodes_.emplace_back(energy::Battery(cfg.battery_mah, cfg.battery_volts),
-                        energy::RadioModel(cfg.radio));
-    NodeRt& node = nodes_.back();
-    node.baseline_mw = cpu_power_mw +
-                       cfg.listen_duty_cycle * cfg.radio.listen_mw +
-                       (1.0 - cfg.listen_duty_cycle) * cfg.radio.sleep_mw;
+    battery_.emplace_back(cfg.battery_mah, cfg.battery_volts);
+    radio_.emplace_back(cfg.radio);
+    baseline_mw_.push_back(cpu_power_mw +
+                           cfg.listen_duty_cycle * cfg.radio.listen_mw +
+                           (1.0 - cfg.listen_duty_cycle) * cfg.radio.sleep_mw);
     if (config_.traffic_factory) {
-      node.traffic = config_.traffic_factory(i);
-      Require(node.traffic != nullptr, "traffic factory returned null");
+      traffic_[i] = config_.traffic_factory(i);
+      Require(traffic_[i] != nullptr, "traffic factory returned null");
     } else {
       const double rate = cfg.cpu.arrival_rate * cfg.report_fraction;
-      if (rate > 0.0) node.traffic = des::MakePoissonWorkload(rate);
+      if (rate > 0.0) traffic_[i] = des::MakePoissonWorkload(rate);
     }
   }
+  last_update_s_.assign(n, 0.0);
   alive_.assign(n, true);
+  busy_.assign(n, 0);
+  queues_ = PacketQueues(n);
+  agg_payloads_.assign(n, 0);
+  death_event_.assign(n, 0);
+  stats_.resize(n);
 
   protocol_ = config_.cluster.MakeProtocol(n);
   if (protocol_ != nullptr) {
@@ -149,7 +157,7 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
         static_cast<std::size_t>(config_.horizon_s /
                                  config_.timeline_interval_s) +
         2;
-    for (NodeRt& node : nodes_) node.stats.timeline.reserve(samples);
+    for (NodeSimStats& stats : stats_) stats.timeline.reserve(samples);
   }
 
   if (config_.obs.metrics) {
@@ -173,7 +181,8 @@ NetSimReport NetworkSimulator::Run() {
     sim_.ScheduleAt(config_.cluster.round_s, [this] { RoundTick(); });
   }
   CheckPartition();  // a deployment can be partitioned from the start
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+  const std::size_t n = battery_.size();
+  for (std::size_t i = 0; i < n; ++i) {
     ScheduleNextArrival(i);
     RescheduleDeath(i);
   }
@@ -185,20 +194,19 @@ NetSimReport NetworkSimulator::Run() {
 
   const double end = stopped_ ? stop_time_s_ : config_.horizon_s;
   NetSimReport report;
-  report.nodes.reserve(nodes_.size());
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    NodeRt& node = nodes_[i];
-    if (node.alive) Touch(i, end);
-    node.stats.alive = node.alive;
-    node.stats.remaining_j = node.battery.Remaining();
-    node.stats.energy_used_j =
-        node.battery.CapacityJoules() - node.battery.Remaining();
+  report.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive_[i]) Touch(i, end);
+    NodeSimStats& stats = stats_[i];
+    stats.alive = alive_[i];
+    stats.remaining_j = battery_[i].Remaining();
+    stats.energy_used_j =
+        battery_[i].CapacityJoules() - battery_[i].Remaining();
     if (config_.timeline_interval_s > 0.0 &&
-        (node.stats.timeline.empty() ||
-         node.stats.timeline.back().time_s < end)) {
-      node.stats.timeline.push_back({end, node.battery.Remaining()});
+        (stats.timeline.empty() || stats.timeline.back().time_s < end)) {
+      stats.timeline.push_back({end, battery_[i].Remaining()});
     }
-    report.nodes.push_back(std::move(node.stats));
+    report.nodes.push_back(std::move(stats));
   }
   report.packets = counters_;
   report.first_death_s = first_death_s_;
@@ -210,15 +218,16 @@ NetSimReport NetworkSimulator::Run() {
   report.routing_repair_s = repair_sw_.seconds;
   report.rounds = rounds_;
   report.elections = elections_;
+  report.election_s = election_sw_.seconds;
+  report.assign_s = assign_sw_.seconds;
   if (metrics_ != nullptr) CollectMetrics(report);
   if (trace_ != nullptr) report.trace = trace_->TakeText();
   return report;
 }
 
 void NetworkSimulator::ScheduleNextArrival(std::size_t i) {
-  NodeRt& node = nodes_[i];
-  if (!node.traffic) return;
-  const auto next = node.traffic->NextArrival(sim_.Now(), rng_);
+  if (!traffic_[i]) return;
+  const auto next = traffic_[i]->NextArrival(sim_.Now(), rng_);
   if (!next) return;
   const double t = std::max(*next, sim_.Now());
   if (t > config_.horizon_s) return;
@@ -227,10 +236,9 @@ void NetworkSimulator::ScheduleNextArrival(std::size_t i) {
 
 void NetworkSimulator::OnArrival(std::size_t i) {
   if (stopped_) return;
-  NodeRt& node = nodes_[i];
-  if (!node.alive) return;  // dead sources stop reporting
+  if (!alive_[i]) return;  // dead sources stop reporting
   ++counters_.generated;
-  ++node.stats.generated;
+  ++stats_[i].generated;
   Packet pkt;
   pkt.id = next_packet_id_++;
   pkt.source = i;
@@ -248,53 +256,96 @@ void NetworkSimulator::OnArrival(std::size_t i) {
 }
 
 void NetworkSimulator::Enqueue(std::size_t i, const Packet& pkt) {
-  NodeRt& node = nodes_[i];
-  if (!node.alive) {
+  if (!alive_[i]) {
     DropPacket(i, DropReason::kNodeDied, pkt.payload);
     return;
   }
-  if (node.queue.size() >= mac_.Config().max_queue) {
+  if (queues_.Size(i) >= mac_.Config().max_queue) {
     DropPacket(i, DropReason::kQueueOverflow, pkt.payload);
     return;
   }
-  node.queue.push_back(pkt);
+  queues_.PushBack(i, pkt);
   TracePacket("enqueue", i, pkt);
   StartNext(i);
 }
 
 void NetworkSimulator::StartNext(std::size_t i) {
-  NodeRt& node = nodes_[i];
-  if (stopped_ || !node.alive || node.busy) return;
-  if (node.queue.empty()) return;
+  if (stopped_ || !alive_[i] || busy_[i]) return;
+  if (queues_.Empty(i)) return;
   // The next hop is queried once: the routing table can only change when
   // a death (or a cluster election) recomputes it, never inside this
   // function.  A partitioned holder therefore sheds its whole backlog
   // immediately.
   const std::size_t receiver = Receiver(i);
   if (receiver == RoutingTable::kNoRoute) {
-    while (!node.queue.empty()) {
-      DropPacket(i, DropReason::kNoRoute, node.queue.front().payload);
-      node.queue.pop_front();
+    while (!queues_.Empty(i)) {
+      DropPacket(i, DropReason::kNoRoute, queues_.Front(i).payload);
+      queues_.PopFront(i);
     }
     return;
   }
-  node.busy = true;
-  const Packet& pkt = node.queue.front();
+  busy_[i] = 1;
+  const Packet& pkt = queues_.Front(i);
   const std::size_t mac_receiver = (receiver == RoutingTable::kSink)
                                        ? DutyCycledMac::kSinkReceiver
                                        : receiver;
-  const double delay = mac_.TxDelay(sim_.Now(), pkt.bits, mac_receiver, rng_);
-  sim_.ScheduleAfter(delay, [this, i] { FinishTx(i); });
+  const DutyCycledMac::TxTiming tx =
+      mac_.TxFinish(sim_.Now(), pkt.bits, mac_receiver, rng_);
+  ScheduleTxFinish(i, tx);
+}
+
+void NetworkSimulator::ScheduleTxFinish(std::size_t i,
+                                        const DutyCycledMac::TxTiming& tx) {
+  if (!tx.slotted || !config_.batch_mac_wakeups) {
+    sim_.ScheduleAt(tx.finish_s, [this, i] { FinishTx(i); });
+    return;
+  }
+  // Same-slot completions share a bit-identical timestamp (the MAC
+  // computes slot + duration absolutely), so one kernel event per
+  // distinct timestamp walks the whole batch.  The event is scheduled
+  // when the batch opens, giving it the FIFO position of its first
+  // waiter; later waiters append, preserving schedule order.
+  const auto [it, opened] = wakeup_at_.try_emplace(tx.finish_s, 0);
+  if (opened) {
+    std::uint32_t slot;
+    if (!wakeup_free_.empty()) {
+      slot = wakeup_free_.back();
+      wakeup_free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(wakeup_lists_.size());
+      wakeup_lists_.emplace_back();
+    }
+    it->second = slot;
+    wakeup_lists_[slot].t = tx.finish_s;
+    const std::size_t s = slot;
+    sim_.ScheduleAt(tx.finish_s, [this, s] { FireWakeups(s); });
+  }
+  wakeup_lists_[it->second].nodes.push_back(static_cast<std::uint32_t>(i));
+}
+
+void NetworkSimulator::FireWakeups(std::size_t slot) {
+  // Swap the list into the walk scratch and release the slot *before*
+  // walking: a FinishTx below can start new transmissions that open new
+  // batches (possibly reusing this slot or growing wakeup_lists_), and
+  // the scratch keeps this walk untouched by that.  The kernel fires one
+  // event at a time, so FireWakeups never nests inside itself.
+  WakeupBatch& batch = wakeup_lists_[slot];
+  wakeup_at_.erase(batch.t);
+  firing_.clear();
+  firing_.swap(batch.nodes);
+  wakeup_free_.push_back(static_cast<std::uint32_t>(slot));
+  ++wakeup_batches_;
+  wakeups_batched_ += firing_.size();
+  for (std::uint32_t i : firing_) FinishTx(i);
 }
 
 void NetworkSimulator::FinishTx(std::size_t i) {
   if (stopped_) return;
-  NodeRt& node = nodes_[i];
-  node.busy = false;
-  if (!node.alive) return;  // died mid-TX; the queue was flushed at death
-  if (node.queue.empty()) return;
-  Packet pkt = node.queue.front();
-  node.queue.pop_front();
+  busy_[i] = 0;
+  if (!alive_[i]) return;  // died mid-TX; the queue was flushed at death
+  if (queues_.Empty(i)) return;
+  Packet pkt = queues_.Front(i);
+  queues_.PopFront(i);
 
   const std::size_t receiver = Receiver(i);
   if (receiver == RoutingTable::kNoRoute) {
@@ -304,68 +355,66 @@ void NetworkSimulator::FinishTx(std::size_t i) {
   }
   // The sender pays for the attempt whatever its fate (this drain may
   // deplete the sender; the in-flight packet still completes the hop).
-  DrainDiscrete(i, node.radio.TransmitEnergy(pkt.bits, HopDistanceOf(i)));
+  DrainDiscrete(i, radio_[i].TransmitEnergy(pkt.bits, HopDistanceOf(i)));
   TracePacket("tx", i, pkt);
 
-  if (receiver != RoutingTable::kSink && !nodes_[receiver].alive) {
+  if (receiver != RoutingTable::kSink && !alive_[receiver]) {
     DropPacket(i, DropReason::kDeadNextHop, pkt.payload);
   } else if (mac_.AttemptLost(rng_)) {
     if (pkt.retries >= mac_.Config().max_retries) {
       DropPacket(i, DropReason::kLinkLoss, pkt.payload);
-    } else if (nodes_[i].alive) {
+    } else if (alive_[i]) {
       ++counters_.retransmissions;
       ++pkt.retries;
-      nodes_[i].queue.push_front(pkt);
+      queues_.PushFront(i, pkt);
     } else {
       DropPacket(i, DropReason::kNodeDied, pkt.payload);
     }
   } else if (receiver == RoutingTable::kSink) {
     counters_.delivered += pkt.payload;
-    nodes_[pkt.source].stats.delivered += pkt.payload;
+    stats_[pkt.source].delivered += pkt.payload;
     TracePacket("deliver", i, pkt);
   } else if (Clustered()) {
     // In clustered mode every node-to-node hand-off lands at a cluster
     // head, which folds the payload into its aggregation buffer instead
     // of relaying the packet verbatim.
-    DrainDiscrete(receiver, nodes_[receiver].radio.ReceiveEnergy(pkt.bits));
+    DrainDiscrete(receiver, radio_[receiver].ReceiveEnergy(pkt.bits));
     ++counters_.forwarded;
-    ++nodes_[receiver].stats.forwarded;
+    ++stats_[receiver].forwarded;
     TracePacket("rx", receiver, pkt);
-    if (nodes_[receiver].alive) {
+    if (alive_[receiver]) {
       AbsorbAtHead(receiver, pkt);
     } else {
       DropPacket(receiver, DropReason::kNodeDied, pkt.payload);
     }
   } else {
-    DrainDiscrete(receiver, nodes_[receiver].radio.ReceiveEnergy(pkt.bits));
+    DrainDiscrete(receiver, radio_[receiver].ReceiveEnergy(pkt.bits));
     pkt.retries = 0;
-    if (++pkt.hops > nodes_.size()) {
+    if (++pkt.hops > battery_.size()) {
       DropPacket(receiver, DropReason::kTtlExceeded, pkt.payload);
     } else {
       ++counters_.forwarded;
-      ++nodes_[receiver].stats.forwarded;
+      ++stats_[receiver].forwarded;
       TracePacket("rx", receiver, pkt);
       Enqueue(receiver, pkt);
     }
   }
-  if (nodes_[i].alive) StartNext(i);
+  if (alive_[i]) StartNext(i);
 }
 
 void NetworkSimulator::Touch(std::size_t i, double now) {
-  NodeRt& node = nodes_[i];
-  const double dt = now - node.last_update_s;
+  const double dt = now - last_update_s_[i];
   if (dt > 0.0) {
-    node.battery.Drain(node.baseline_mw * dt / 1000.0);
-    node.last_update_s = now;
+    battery_[i].Drain(baseline_mw_[i] * dt / 1000.0);
+    last_update_s_[i] = now;
   }
 }
 
 void NetworkSimulator::DrainDiscrete(std::size_t i, double joules) {
-  NodeRt& node = nodes_[i];
-  if (!node.alive) return;
+  if (!alive_[i]) return;
   Touch(i, sim_.Now());
-  node.battery.Drain(joules);
-  if (node.battery.Depleted()) {
+  battery_[i].Drain(joules);
+  if (battery_[i].Depleted()) {
     OnDeath(i);
   } else {
     RescheduleDeath(i);
@@ -373,42 +422,39 @@ void NetworkSimulator::DrainDiscrete(std::size_t i, double joules) {
 }
 
 void NetworkSimulator::RescheduleDeath(std::size_t i) {
-  NodeRt& node = nodes_[i];
-  if (node.death_event != 0) {
-    sim_.Cancel(node.death_event);
-    node.death_event = 0;
+  if (death_event_[i] != 0) {
+    sim_.Cancel(death_event_[i]);
+    death_event_[i] = 0;
   }
-  if (node.baseline_mw <= 0.0) return;  // only discrete drains can kill
+  if (baseline_mw_[i] <= 0.0) return;  // only discrete drains can kill
   const double seconds_left =
-      node.battery.Remaining() / (node.baseline_mw / 1000.0);
+      battery_[i].Remaining() / (baseline_mw_[i] / 1000.0);
   const double when = sim_.Now() + seconds_left;
   if (when > config_.horizon_s) return;  // outlives the horizon
-  node.death_event = sim_.ScheduleAt(when, [this, i] {
-    if (stopped_ || !nodes_[i].alive) return;
-    nodes_[i].death_event = 0;
+  death_event_[i] = sim_.ScheduleAt(when, [this, i] {
+    if (stopped_ || !alive_[i]) return;
+    death_event_[i] = 0;
     Touch(i, sim_.Now());
-    nodes_[i].battery.Drain(nodes_[i].battery.Remaining());
+    battery_[i].Drain(battery_[i].Remaining());
     OnDeath(i);
   });
 }
 
 void NetworkSimulator::OnDeath(std::size_t i) {
-  NodeRt& node = nodes_[i];
-  node.alive = false;
   alive_[i] = false;
-  node.stats.death_s = sim_.Now();
-  if (node.death_event != 0) {
-    sim_.Cancel(node.death_event);
-    node.death_event = 0;
+  stats_[i].death_s = sim_.Now();
+  if (death_event_[i] != 0) {
+    sim_.Cancel(death_event_[i]);
+    death_event_[i] = 0;
   }
-  for (const Packet& pkt : node.queue) {
-    DropPacket(i, DropReason::kNodeDied, pkt.payload);
+  while (!queues_.Empty(i)) {
+    DropPacket(i, DropReason::kNodeDied, queues_.Front(i).payload);
+    queues_.PopFront(i);
   }
-  node.queue.clear();
-  if (node.agg_payloads > 0) {
+  if (agg_payloads_[i] > 0) {
     // Buffered member payloads die with the head that held them.
-    DropPacket(i, DropReason::kNodeDied, node.agg_payloads);
-    node.agg_payloads = 0;
+    DropPacket(i, DropReason::kNodeDied, agg_payloads_[i]);
+    agg_payloads_[i] = 0;
   }
   if (first_death_s_ == std::numeric_limits<double>::infinity()) {
     first_death_s_ = sim_.Now();
@@ -425,7 +471,12 @@ void NetworkSimulator::OnDeath(std::size_t i) {
     if (cluster_.IsHead(i)) {
       if (config_.rerouting) {
         // Losing a head strands its members: repair the cluster now.
-        ElectClusters(/*repair=*/true);
+        // The in-place path touches only the dead head's own members;
+        // ElectClusters is the full-rebuild fallback (all-pairs oracle
+        // mode, last head standing, or a protocol without member lists).
+        if (!TryInPlaceClusterRepair(i)) {
+          ElectClusters(/*repair=*/true);
+        }
       } else {
         RebuildClusterRoutes();  // at least forget routes through the dead
       }
@@ -433,6 +484,9 @@ void NetworkSimulator::OnDeath(std::size_t i) {
       // A dead member invalidates only its own uplink; every other row
       // of the cluster routing state still points at a live head (or
       // was already kNoRoute), so a full rebuild would change nothing.
+      // Leaving the alive set also removes the member from the
+      // unrouted-alive count when it had no uplink.
+      if (cluster_next_[i] == RoutingTable::kNoRoute) --cluster_unrouted_;
       cluster_next_[i] = RoutingTable::kNoRoute;
       cluster_dist_[i] = 0.0;
     }
@@ -456,28 +510,37 @@ void NetworkSimulator::OnDeath(std::size_t i) {
 
 void NetworkSimulator::CheckPartition() {
   if (partition_s_ != std::numeric_limits<double>::infinity()) return;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!alive_[i]) continue;
-    bool connected = true;
-    if (Clustered()) {
-      const std::size_t r = cluster_next_[i];
-      connected = r == RoutingTable::kSink ||
-                  (r != RoutingTable::kNoRoute && alive_[r]);
-    } else {
-      connected = routing_.Connected(i, alive_);
+  bool partitioned = false;
+  if (Clustered()) {
+    // RebuildClusterRoutes runs after every head death, so alive rows
+    // never point at dead nodes and the maintained counter is exact.
+    partitioned = cluster_unrouted_ > 0;
+  } else if (config_.rerouting) {
+    // The table is repaired after every death, so it is consistent with
+    // alive_: a disconnected alive node exists iff some alive node holds
+    // kNoRoute (greedy chains strictly approach the sink through alive
+    // relays).  O(1) instead of the historical O(N * chain) sweep.
+    partitioned = routing_.UnroutedAlive() > 0;
+  } else {
+    // Rerouting off: the table is stale, chains must be re-walked.
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      if (!alive_[i]) continue;
+      if (!routing_.Connected(i, alive_)) {
+        partitioned = true;
+        break;
+      }
     }
-    if (!connected) {
-      partition_s_ = sim_.Now();
-      if (config_.stop_at_partition) Stop();
-      return;
-    }
+  }
+  if (partitioned) {
+    partition_s_ = sim_.Now();
+    if (config_.stop_at_partition) Stop();
   }
 }
 
 void NetworkSimulator::DropPacket(std::size_t holder, DropReason reason,
                                   std::uint32_t payloads) {
   counters_.Drop(reason, payloads);
-  nodes_[holder].stats.dropped += payloads;
+  stats_[holder].dropped += payloads;
   if (trace_ != nullptr) {
     // Drops are recorded per (holder, cause, payload count); several call
     // sites drop whole queues, so no single packet id applies.
@@ -528,8 +591,8 @@ void NetworkSimulator::CollectMetrics(NetSimReport& report) {
         counters_.Dropped(reason);
   }
   std::uint64_t deaths = 0;
-  for (const NodeRt& node : nodes_) {
-    if (!node.alive) ++deaths;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) ++deaths;
   }
   *reg.Counter("netsim.deaths") += deaths;
   *reg.Counter("netsim.routing.repairs") += repair_sw_.calls;
@@ -537,6 +600,10 @@ void NetworkSimulator::CollectMetrics(NetSimReport& report) {
   *reg.Counter("netsim.cluster.elections") += elections_;
   *reg.Counter("netsim.mac.lpl_waits") += mac_.Lpl().waits;
   *reg.Sum("netsim.mac.lpl_wait_s") += mac_.Lpl().wait_s;
+  *reg.Counter("netsim.mac.wakeup_batches") += wakeup_batches_;
+  *reg.Counter("netsim.mac.wakeups_batched") += wakeups_batched_;
+  reg.GaugeMax("netsim.queue.pool_slots",
+               static_cast<double>(queues_.Slots()));
   if (trace_ != nullptr) {
     *reg.Counter("obs.trace.events") += trace_->Events();
     if (trace_->Truncated()) *reg.Counter("obs.trace.truncated") += 1;
@@ -552,11 +619,10 @@ void NetworkSimulator::CollectMetrics(NetSimReport& report) {
 void NetworkSimulator::TimelineTick() {
   if (stopped_) return;
   const double now = sim_.Now();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    NodeRt& node = nodes_[i];
-    if (!node.alive) continue;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (!alive_[i]) continue;
     Touch(i, now);
-    node.stats.timeline.push_back({now, node.battery.Remaining()});
+    stats_[i].timeline.push_back({now, battery_[i].Remaining()});
   }
   const double next = now + config_.timeline_interval_s;
   if (next <= config_.horizon_s) {
@@ -580,41 +646,131 @@ double NetworkSimulator::HopDistanceOf(std::size_t i) const {
 
 void NetworkSimulator::ElectClusters(bool repair) {
   const double now = sim_.Now();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i].alive) {
-      energy_fraction_[i] = 0.0;
-      continue;
+  if (!repair) {
+    // Round elections drain every battery up to the election instant so
+    // the protocol sees current energies.  Repairs skip the O(N) sweep —
+    // batteries stay lazily drained (see Touch) and the rare repair that
+    // actually reads energies refreshes them below — which regroups the
+    // floating-point drain sums and therefore shifts clustered
+    // trajectories by ULPs relative to the eager-sweep implementation
+    // (identically in both assignment modes).
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      if (alive_[i]) Touch(i, now);  // batteries current at the election
     }
-    Touch(i, now);  // battery levels current at the election instant
-    energy_fraction_[i] =
-        nodes_[i].battery.Remaining() / nodes_[i].battery.CapacityJoules();
   }
   ClusterView view;
   view.positions = &config_.positions;
   view.sinks = &routing_.Sinks();
   view.alive = &alive_;
   view.energy_fraction = &energy_fraction_;
+  // The energy *fractions* are derived lazily: only an election that
+  // actually reads energies (LEACH's nobody-volunteered draft) pays the
+  // per-node touch + division, so the frequent head-death repairs skip
+  // it.
+  view.refresh_energy = [this, now] {
+    for (std::size_t i = 0; i < alive_.size(); ++i) {
+      if (alive_[i]) {
+        Touch(i, now);  // no-op when the round-election sweep already ran
+        energy_fraction_[i] =
+            battery_[i].Remaining() / battery_[i].CapacityJoules();
+      } else {
+        energy_fraction_[i] = 0.0;
+      }
+    }
+  };
   view.assign_stopwatch = &assign_sw_;
+  view.assign_mode = config_.cluster.assign;
 
   // Election cost = protocol decision + member assignment + route
   // rebuild; the post-election queue wakeups below are ordinary TX work,
   // not election overhead, so they stay outside the timer.
+  ClusterAssignment prev = std::move(cluster_);
   obs::PhaseTimer election_timer(&election_sw_);
-  cluster_ = repair ? protocol_->Repair(cluster_, round_, view, rng_)
+  cluster_ = repair ? protocol_->Repair(prev, round_, view, rng_)
                     : protocol_->Elect(round_, view, rng_);
   ++elections_;
   if (!repair) ++rounds_;
-  for (std::size_t h : cluster_.heads) ++nodes_[h].stats.head_elections;
-  RebuildClusterRoutes();
+  for (std::size_t h : cluster_.heads) ++stats_[h].head_elections;
+  RebuildClusterRoutes(repair && prev.head_of.size() == cluster_.head_of.size()
+                           ? &prev.head_of
+                           : nullptr);
   election_timer.Stop();
   // Routes may have appeared (a repaired head) — wake up waiting queues.
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].alive && !nodes_[i].queue.empty()) StartNext(i);
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i] && !queues_.Empty(i)) StartNext(i);
   }
 }
 
-void NetworkSimulator::RebuildClusterRoutes() {
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+bool NetworkSimulator::TryInPlaceClusterRepair(std::size_t dead) {
+  // All-pairs mode stays on the historical full-rebuild path: it is the
+  // pinned oracle the netsim-scale clustered-allpairs rows measure.
+  if (config_.cluster.assign != HeadAssignMode::kGrid) return false;
+  // Pre-check RepairInPlace's decline conditions so a declined repair
+  // never opens the election stopwatch (keeping its call count equal to
+  // the one ElectClusters will record on the fallback path).
+  if (cluster_.heads.size() <= 1 ||
+      cluster_.members.size() != cluster_.heads.size()) {
+    return false;
+  }
+  ClusterView view;
+  view.positions = &config_.positions;
+  view.sinks = &routing_.Sinks();
+  view.alive = &alive_;
+  view.energy_fraction = &energy_fraction_;  // never read: repairs with a
+                                             // surviving head skip energies
+  view.assign_stopwatch = &assign_sw_;
+  view.assign_mode = config_.cluster.assign;
+
+  repair_reattached_.clear();
+  obs::PhaseTimer election_timer(&election_sw_);
+  if (!protocol_->RepairInPlace(cluster_, dead, view, repair_reattached_)) {
+    return false;
+  }
+  ++elections_;
+  // Every surviving head "wins" the repair election, exactly as on the
+  // full-rebuild path — head_elections is an output-visible stat.
+  for (std::size_t h : cluster_.heads) ++stats_[h].head_elections;
+  // Patch only the affected route rows: the dead head forgets its sink
+  // uplink; re-attached members point at their new head.  Ascending node
+  // order replays the full rebuild's sweep order.
+  std::sort(repair_reattached_.begin(), repair_reattached_.end());
+  cluster_next_[dead] = RoutingTable::kNoRoute;
+  cluster_dist_[dead] = 0.0;
+  for (std::uint32_t m : repair_reattached_) {
+    const std::size_t head = cluster_.head_of[m];
+    cluster_next_[m] = head;
+    cluster_dist_[m] =
+        node::Distance(config_.positions[m], config_.positions[head]);
+  }
+  // cluster_unrouted_ is untouched: every orphan re-attached (a surviving
+  // head exists) and the dead head left the alive set, not the routed set.
+  election_timer.Stop();
+  // Wake only the re-attached members — every other alive node kept its
+  // route, so the full post-election sweep would no-op on it (busy, or
+  // idle with an empty queue; idle-with-backlog cannot survive StartNext
+  // while a route exists, and clustered nodes always have one while any
+  // head lives).
+  for (std::uint32_t m : repair_reattached_) {
+    if (!queues_.Empty(m)) StartNext(m);
+  }
+  return true;
+}
+
+void NetworkSimulator::RebuildClusterRoutes(
+    const std::vector<std::size_t>* prev_head_of) {
+  const bool diff = prev_head_of != nullptr &&
+                    prev_head_of->size() == cluster_.head_of.size() &&
+                    cluster_.head_of.size() == alive_.size();
+  if (!diff) cluster_unrouted_ = 0;
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (diff) {
+      // A row whose assignment is unchanged still points at a live head
+      // (repair never kills a kept head) at the same distance.
+      if ((*prev_head_of)[i] == cluster_.head_of[i]) continue;
+      if (alive_[i] && cluster_next_[i] == RoutingTable::kNoRoute) {
+        --cluster_unrouted_;  // re-counted below if the row stays unrouted
+      }
+    }
     if (!alive_[i]) {
       cluster_next_[i] = RoutingTable::kNoRoute;
       cluster_dist_[i] = 0.0;
@@ -635,6 +791,7 @@ void NetworkSimulator::RebuildClusterRoutes() {
     } else {
       cluster_next_[i] = RoutingTable::kNoRoute;
       cluster_dist_[i] = 0.0;
+      ++cluster_unrouted_;
     }
   }
 }
@@ -644,7 +801,7 @@ void NetworkSimulator::RoundTick() {
   // Demotion flush: partial aggregates leave under the *new* assignment
   // (the packets sit in the queue; the receiver is read at TX time).
   for (std::size_t h : cluster_.heads) {
-    if (nodes_[h].alive) FlushAggregate(h);
+    if (alive_[h]) FlushAggregate(h);
   }
   ++round_;
   ElectClusters(/*repair=*/false);
@@ -656,25 +813,23 @@ void NetworkSimulator::RoundTick() {
 }
 
 void NetworkSimulator::AbsorbAtHead(std::size_t head, const Packet& pkt) {
-  NodeRt& node = nodes_[head];
-  node.stats.aggregated += pkt.payload;
-  node.agg_payloads += pkt.payload;
-  if (node.agg_payloads >=
+  stats_[head].aggregated += pkt.payload;
+  agg_payloads_[head] += pkt.payload;
+  if (agg_payloads_[head] >=
       static_cast<std::uint32_t>(config_.cluster.aggregation)) {
     FlushAggregate(head);
   }
 }
 
 void NetworkSimulator::FlushAggregate(std::size_t head) {
-  NodeRt& node = nodes_[head];
-  if (node.agg_payloads == 0) return;
+  if (agg_payloads_[head] == 0) return;
   Packet agg;
   agg.id = next_packet_id_++;
   agg.source = head;
   agg.created_s = sim_.Now();
   agg.bits = aggregate_bits_;
-  agg.payload = node.agg_payloads;
-  node.agg_payloads = 0;
+  agg.payload = agg_payloads_[head];
+  agg_payloads_[head] = 0;
   Enqueue(head, agg);
 }
 

@@ -31,14 +31,24 @@
 /// record slab (no per-packet heap allocation — see des/action.hpp); the
 /// per-node next hop is read once per transmission opportunity, not once
 /// per shed packet; and per-node timeline buffers are reserved up front.
+/// Per-node hot state (battery, baseline draw, liveness, busy flag,
+/// backlog cursors) lives in parallel struct-of-arrays vectors rather
+/// than an array of per-node structs, so loops that sweep every node —
+/// timeline ticks, election-time battery refreshes, post-election queue
+/// wakeups — stream through dense cache lines instead of striding over
+/// cold queue/stats bytes; packet backlogs share one pooled slab
+/// (PacketQueues).  Under low-power listening, transmissions completing
+/// at the same receiver wake slot are batched into a single kernel event
+/// that walks a wakeup list in schedule order (batch_mac_wakeups),
+/// collapsing N same-timestamp DES events into one.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "core/model.hpp"
@@ -102,6 +112,15 @@ struct NetSimConfig {
 
   /// Cluster-based collection; disabled by default (flat greedy routing).
   ClusterConfig cluster;
+
+  /// Batch transmissions that complete at the same LPL wake slot into a
+  /// single kernel event walking a wakeup list (instead of N same-
+  /// timestamp DES events).  Only ever active when mac.wakeup_interval_s
+  /// > 0 — without LPL no two completions share a timestamp and every
+  /// transmission schedules its own event as before.  Results are
+  /// bit-identical with batching on or off (same completion timestamps,
+  /// same FIFO order).
+  bool batch_mac_wakeups = true;
 
   /// Event-queue implementation for the underlying DES kernel.
   des::QueueKind queue_kind = des::QueueKind::kBinaryHeap;
@@ -186,6 +205,14 @@ struct NetSimReport {
   /// Total protocol invocations: rounds plus mid-round repairs after
   /// cluster-head deaths (0 in flat mode).
   std::uint64_t elections = 0;
+  /// Wall-clock seconds inside elections (protocol Elect/Repair + route
+  /// rebuild; 0 in flat mode).  Machine-dependent, like
+  /// routing_repair_s.
+  double election_s = 0.0;
+  /// Wall-clock seconds inside AssignToNearestHead (a sub-span of
+  /// election_s — the cost the grid-accelerated head assignment
+  /// attacks).
+  double assign_s = 0.0;
 
   /// Metrics snapshot of this replication (empty unless
   /// NetSimConfig::obs.metrics; see docs/observability.md for the metric
@@ -217,26 +244,17 @@ class NetworkSimulator {
   NetSimReport Run();
 
  private:
-  struct NodeRt {
-    energy::Battery battery;
-    energy::RadioModel radio;
-    double baseline_mw = 0.0;  ///< continuous CPU + listen/sleep draw
-    double last_update_s = 0.0;
-    bool alive = true;
-    bool busy = false;  ///< radio TX in progress
-    std::deque<Packet> queue;
-    std::uint32_t agg_payloads = 0;  ///< payloads buffered while a head
-    des::EventId death_event = 0;
-    std::unique_ptr<des::Workload> traffic;
-    NodeSimStats stats;
-
-    NodeRt(energy::Battery b, energy::RadioModel r) : battery(b), radio(r) {}
-  };
-
   void ScheduleNextArrival(std::size_t i);
   void OnArrival(std::size_t i);
   void Enqueue(std::size_t i, const Packet& pkt);
   void StartNext(std::size_t i);
+  /// Schedule node i's FinishTx at `tx.finish_s`; LPL-slotted finishes
+  /// join (or open) the wakeup batch for that timestamp when
+  /// batch_mac_wakeups is on.
+  void ScheduleTxFinish(std::size_t i, const DutyCycledMac::TxTiming& tx);
+  /// Fire one wakeup batch: FinishTx for every listed node, in the order
+  /// the finishes were scheduled (the kernel's FIFO order).
+  void FireWakeups(std::size_t slot);
   void FinishTx(std::size_t i);
   void Touch(std::size_t i, double now);
   void DrainDiscrete(std::size_t i, double joules);
@@ -257,7 +275,20 @@ class NetworkSimulator {
   std::size_t Receiver(std::size_t i) const;
   double HopDistanceOf(std::size_t i) const;
   void ElectClusters(bool repair);
-  void RebuildClusterRoutes();
+  /// O(members + heads) head-death repair: drives
+  /// ClusteringProtocol::RepairInPlace on cluster_, patches only the
+  /// affected route rows and wakes only the re-attached members.  Returns
+  /// false — having changed nothing — when the fast path does not apply
+  /// (all-pairs mode, no surviving head, or no member lists); the caller
+  /// then falls back to ElectClusters(/*repair=*/true).
+  bool TryInPlaceClusterRepair(std::size_t dead);
+  /// Recomputes cluster_next_/cluster_dist_ from cluster_.  With
+  /// `prev_head_of` (a repair's pre-election assignment) only rows whose
+  /// head changed are recomputed — an unchanged row still points at a
+  /// live head at the same distance — and cluster_unrouted_ moves by
+  /// transitions; null rebuilds every row from scratch.
+  void RebuildClusterRoutes(
+      const std::vector<std::size_t>* prev_head_of = nullptr);
   void RoundTick();
   void AbsorbAtHead(std::size_t head, const Packet& pkt);
   void FlushAggregate(std::size_t head);
@@ -267,8 +298,38 @@ class NetworkSimulator {
   util::Rng rng_;
   RoutingTable routing_;
   DutyCycledMac mac_;
-  std::vector<NodeRt> nodes_;
+
+  // Per-node state, struct-of-arrays: each vector is indexed by node.
+  // The hot sweeps (TimelineTick, election battery refresh, post-
+  // election wakeups) read only the 1-2 arrays they need, densely.
+  std::vector<energy::Battery> battery_;     ///< capacity + remaining (J)
+  std::vector<energy::RadioModel> radio_;    ///< per-packet TX/RX costs
+  std::vector<double> baseline_mw_;  ///< continuous CPU + listen/sleep draw
+  std::vector<double> last_update_s_;  ///< last baseline-drain instant
   std::vector<bool> alive_;
+  std::vector<std::uint8_t> busy_;  ///< radio TX in progress (0/1)
+  PacketQueues queues_;             ///< pooled per-node packet FIFOs
+  std::vector<std::uint32_t> agg_payloads_;  ///< head aggregation buffers
+  std::vector<des::EventId> death_event_;    ///< pending death events
+  std::vector<std::unique_ptr<des::Workload>> traffic_;
+  std::vector<NodeSimStats> stats_;
+
+  // Batched LPL wakeups: lists of nodes whose TX completes at the same
+  // wake-slot timestamp, one kernel event per distinct timestamp.  List
+  // slots recycle through a free list; `firing_` is the walk scratch
+  // (swapped in so nested ScheduleTxFinish calls can reuse the slot
+  // safely — the kernel fires one event at a time, so no reentrancy).
+  struct WakeupBatch {
+    double t = 0.0;                   ///< batch timestamp (map key echo)
+    std::vector<std::uint32_t> nodes;  ///< waiters, in schedule order
+  };
+  std::vector<WakeupBatch> wakeup_lists_;
+  std::vector<std::uint32_t> wakeup_free_;
+  std::unordered_map<double, std::uint32_t> wakeup_at_;  ///< t -> list slot
+  std::vector<std::uint32_t> firing_;
+  std::uint64_t wakeup_batches_ = 0;   ///< batch events fired
+  std::uint64_t wakeups_batched_ = 0;  ///< FinishTx calls delivered batched
+
   PacketCounters counters_;
   std::uint64_t next_packet_id_ = 0;
   double first_death_s_ = std::numeric_limits<double>::infinity();
@@ -296,7 +357,17 @@ class NetworkSimulator {
   ClusterAssignment cluster_;
   std::vector<std::size_t> cluster_next_;  ///< per-node receiver sentinel
   std::vector<double> cluster_dist_;       ///< per-node hop distance (m)
+  /// Alive nodes with cluster_next_ == kNoRoute.  RebuildClusterRoutes
+  /// runs after every head death (rerouting on or off), so an alive row
+  /// never points at a dead node and this counter alone answers the
+  /// partition check in O(1) — the clustered analogue of
+  /// RoutingTable::UnroutedAlive().
+  std::size_t cluster_unrouted_ = 0;
   std::vector<double> energy_fraction_;    ///< election-time scratch
+  /// In-place-repair scratch: the members RepairInPlace re-attached,
+  /// sorted ascending before route patching so the post-repair queue
+  /// kicks replay the full sweep's node-index order.
+  std::vector<std::uint32_t> repair_reattached_;
   std::size_t round_ = 0;                  ///< current round index
   std::size_t aggregate_bits_ = 0;         ///< resolved upstream bits
   std::uint64_t rounds_ = 0;

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 /// \namespace wsn
 /// Root namespace of the WSN energy-modeling reproduction.
@@ -72,6 +73,99 @@ struct PacketCounters {
 
   /// delivered / generated (1.0 when nothing was generated).
   double DeliveryRatio() const noexcept;
+};
+
+/// Pooled per-node packet FIFOs: one shared slab of packet slots chained
+/// into an intrusive singly-linked list per node.
+///
+/// This replaces the former per-node std::deque<Packet>: a deque
+/// pre-allocates a block per instance (~hundreds of bytes even when
+/// empty), which at 100k nodes meant tens of megabytes touched up front
+/// for queues that are almost always empty.  The pool allocates nothing
+/// per node beyond three 4-byte cursors, grows the slab to the *peak
+/// number of simultaneously queued packets* across the whole network,
+/// and recycles slots through a free list — so queue churn after warmup
+/// is allocation-free and the hot front/push/pop path touches one slab
+/// cache line.  FIFO semantics per node, with PushFront for the MAC's
+/// retransmission requeue.
+class PacketQueues {
+ public:
+  PacketQueues() = default;
+
+  /// FIFOs for `nodes` nodes, all initially empty.
+  explicit PacketQueues(std::size_t nodes)
+      : head_(nodes, kNil), tail_(nodes, kNil), count_(nodes, 0) {}
+
+  /// True when node i's FIFO holds no packet.
+  bool Empty(std::size_t i) const noexcept { return head_[i] == kNil; }
+
+  /// Packets queued at node i.
+  std::size_t Size(std::size_t i) const noexcept { return count_[i]; }
+
+  /// Oldest packet of node i's FIFO (undefined when Empty(i)).
+  const Packet& Front(std::size_t i) const noexcept {
+    return slots_[head_[i]].pkt;
+  }
+
+  /// Append `pkt` to node i's FIFO.
+  void PushBack(std::size_t i, const Packet& pkt) {
+    const std::uint32_t s = Alloc(pkt);
+    if (tail_[i] == kNil) {
+      head_[i] = s;
+    } else {
+      slots_[tail_[i]].next = s;
+    }
+    tail_[i] = s;
+    ++count_[i];
+  }
+
+  /// Prepend `pkt` to node i's FIFO (retransmission requeue).
+  void PushFront(std::size_t i, const Packet& pkt) {
+    const std::uint32_t s = Alloc(pkt);
+    slots_[s].next = head_[i];
+    head_[i] = s;
+    if (tail_[i] == kNil) tail_[i] = s;
+    ++count_[i];
+  }
+
+  /// Drop node i's front packet (undefined when Empty(i)).
+  void PopFront(std::size_t i) {
+    const std::uint32_t s = head_[i];
+    head_[i] = slots_[s].next;
+    if (head_[i] == kNil) tail_[i] = kNil;
+    slots_[s].next = free_;
+    free_ = s;
+    --count_[i];
+  }
+
+  /// Slab capacity: the peak simultaneously queued packet count so far.
+  std::size_t Slots() const noexcept { return slots_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Slot {
+    Packet pkt;
+    std::uint32_t next = kNil;
+  };
+
+  std::uint32_t Alloc(const Packet& pkt) {
+    if (free_ != kNil) {
+      const std::uint32_t s = free_;
+      free_ = slots_[s].next;
+      slots_[s].pkt = pkt;
+      slots_[s].next = kNil;
+      return s;
+    }
+    slots_.push_back({pkt, kNil});
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  std::vector<Slot> slots_;        ///< shared slab, grows to peak backlog
+  std::uint32_t free_ = kNil;      ///< free-list head into slots_
+  std::vector<std::uint32_t> head_;   ///< per-node front slot (kNil = empty)
+  std::vector<std::uint32_t> tail_;   ///< per-node back slot (kNil = empty)
+  std::vector<std::uint32_t> count_;  ///< per-node queued-packet count
 };
 
 }  // namespace wsn::netsim

@@ -97,6 +97,7 @@ RoutingTable::RoutingTable(std::vector<node::Position> sinks, double max_hop_m,
     }
     next_[i] = best;
     hop_distance_[i] = (best == kNoRoute) ? 0.0 : std::sqrt(best_d2);
+    if (best == kNoRoute) ++unrouted_alive_;
   }
 }
 
@@ -127,6 +128,7 @@ void RoutingTable::Choose(std::size_t i, const std::vector<bool>& alive) {
 void RoutingTable::Recompute(const std::vector<bool>& alive) {
   const std::size_t n = positions_.size();
   Require(alive.size() == n, "alive mask size mismatch");
+  unrouted_alive_ = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!alive[i]) {
       next_[i] = kNoRoute;
@@ -134,12 +136,14 @@ void RoutingTable::Recompute(const std::vector<bool>& alive) {
       continue;
     }
     Choose(i, alive);
+    if (next_[i] == kNoRoute) ++unrouted_alive_;
   }
 }
 
 void RoutingTable::RecomputeLegacy(const std::vector<bool>& alive) {
   const std::size_t n = positions_.size();
   Require(alive.size() == n, "alive mask size mismatch");
+  unrouted_alive_ = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!alive[i]) {
       next_[i] = kNoRoute;
@@ -165,6 +169,7 @@ void RoutingTable::RecomputeLegacy(const std::vector<bool>& alive) {
     hop_distance_[i] =
         (best == kNoRoute) ? 0.0
                            : node::Distance(positions_[i], positions_[best]);
+    if (best == kNoRoute) ++unrouted_alive_;
   }
 }
 
@@ -177,6 +182,9 @@ void RoutingTable::RepairAfterDeath(std::size_t dead,
 
   worklist_.clear();
   worklist_.push_back(static_cast<std::uint32_t>(dead));
+  // The dead node leaves the alive set: it stops counting toward
+  // UnroutedAlive whatever its route was.
+  if (next_[dead] == kNoRoute) --unrouted_alive_;
   next_[dead] = kNoRoute;
   hop_distance_[dead] = 0.0;
   while (!worklist_.empty()) {
@@ -188,6 +196,9 @@ void RoutingTable::RepairAfterDeath(std::size_t dead,
       const std::uint32_t i = nbr_[k];
       if (!alive[i] || next_[i] != lost) continue;
       Choose(i, alive);
+      // Re-chosen nodes held a real route (next_ == lost) before, so
+      // only the no-route outcome moves the UnroutedAlive counter.
+      if (next_[i] == kNoRoute) ++unrouted_alive_;
       // Greedy hops depend only on geometry and liveness, never on
       // another node's chosen hop, so i's new route cannot invalidate
       // anyone else's: the worklist drains after the direct

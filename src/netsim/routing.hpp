@@ -103,6 +103,17 @@ class RoutingTable {
   /// Distance (m) from node i to its nearest sink.
   double DistanceToSink(std::size_t i) const { return to_sink_[i]; }
 
+  /// Number of alive nodes whose next hop is kNoRoute, maintained
+  /// incrementally across construction, recomputes and repairs.  For a
+  /// table kept consistent with the liveness mask (an update after every
+  /// death), "some alive node is disconnected" is *equivalent* to
+  /// "UnroutedAlive() > 0": greedy chains through alive nodes strictly
+  /// decrease distance-to-sink, so they either reach kSink or end at an
+  /// alive node holding kNoRoute.  That turns the simulator's partition
+  /// check into O(1).  Meaningless for stale tables (rerouting off) —
+  /// those must chain-walk Connected() instead.
+  std::size_t UnroutedAlive() const noexcept { return unrouted_alive_; }
+
   /// In-range neighbours of node i (precomputed, ascending index).
   std::size_t NeighborCount(std::size_t i) const {
     return nbr_start_[i + 1] - nbr_start_[i];
@@ -133,6 +144,7 @@ class RoutingTable {
   std::vector<std::uint32_t> nbr_;
   std::vector<double> nbr_d2_;
   std::vector<std::uint32_t> worklist_;  ///< RepairAfterDeath scratch
+  std::size_t unrouted_alive_ = 0;       ///< see UnroutedAlive()
 };
 
 }  // namespace wsn::netsim

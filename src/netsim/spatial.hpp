@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "wsn/network.hpp"
@@ -36,6 +37,9 @@ namespace wsn::netsim {
 /// Immutable bucket index of node positions on a uniform square grid.
 class SpatialGrid {
  public:
+  /// NearestWhere() sentinel: no candidate matched (empty grid or every
+  /// candidate excluded by the caller's distance function).
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   /// Build the index with cells of side >= `cell_m` (> 0) covering the
   /// bounding box of `positions`.  The effective cell size is enlarged
   /// when needed to keep the cell table O(positions.size()).
@@ -75,7 +79,102 @@ class SpatialGrid {
     }
   }
 
+  /// Invoke `fn(j)` for every node j in a cell whose Chebyshev ring
+  /// distance from `p`'s (clamped) cell is at most
+  /// ceil(radius_m / CellSize()) — a superset of the nodes within
+  /// `radius_m` of `p`; callers apply their own exact range test.  Cells
+  /// are visited ring by ring outward (row-major within a ring, ascending
+  /// node index within a cell), so the visit order is deterministic.
+  /// Off-grid query points clamp like every other query.
+  template <typename Fn>
+  void ForEachInRadius(const node::Position& p, double radius_m,
+                       Fn&& fn) const {
+    const std::size_t cx = CellCoord(p.x, min_x_, nx_);
+    const std::size_t cy = CellCoord(p.y, min_y_, ny_);
+    // Cells at ring r > radius/cell + 1 lie strictly beyond the radius
+    // from anywhere inside the query cell (min distance (r-1)*cell).
+    std::size_t reach = static_cast<std::size_t>(radius_m * inv_cell_) + 1;
+    reach = reach < MaxRing(cx, cy) ? reach : MaxRing(cx, cy);
+    for (std::size_t r = 0; r <= reach; ++r) {
+      ForEachInRing(cx, cy, r, fn);
+    }
+  }
+
+  /// Ring-expanding exact nearest query: return the index j minimizing
+  /// `dist2(j)` over all indexed nodes, ties broken toward the lowest j.
+  /// `dist2` supplies the squared distance (or any comparable cost) of
+  /// candidate j; returning +infinity excludes j (a dead node, say).
+  /// Rings are scanned outward from `p`'s cell and the search stops as
+  /// soon as no unscanned cell can hold a closer candidate, so the cost
+  /// is the local occupancy around `p`, not Size().  Returns kNone when
+  /// every candidate was excluded.  The bound (r-1)*CellSize() on the
+  /// distance to ring r holds for clamped off-grid queries too: the
+  /// clamped axis only adds distance.
+  template <typename Dist2Fn>
+  std::size_t NearestWhere(const node::Position& p, Dist2Fn&& dist2) const {
+    const std::size_t cx = CellCoord(p.x, min_x_, nx_);
+    const std::size_t cy = CellCoord(p.y, min_y_, ny_);
+    const std::size_t last_ring = MaxRing(cx, cy);
+    double best2 = std::numeric_limits<double>::infinity();
+    std::size_t best = kNone;
+    for (std::size_t r = 0; r <= last_ring; ++r) {
+      if (best != kNone && r >= 2) {
+        // Every cell at ring r is at least (r-1) cells away in x or y.
+        const double reach = static_cast<double>(r - 1) * cell_m_;
+        if (reach * reach > best2) break;
+      }
+      ForEachInRing(cx, cy, r, [&](std::size_t j) {
+        const double d2 = dist2(j);
+        if (d2 == std::numeric_limits<double>::infinity()) return;
+        if (d2 < best2 || (d2 == best2 && j < best)) {
+          best2 = d2;
+          best = j;
+        }
+      });
+    }
+    return best;
+  }
+
  private:
+  /// Invoke `fn(j)` for every node j in a cell at Chebyshev distance
+  /// exactly `r` from cell (cx, cy), skipping cells outside the grid.
+  /// Row-major over the ring; ascending node index within each cell.
+  template <typename Fn>
+  void ForEachInRing(std::size_t cx, std::size_t cy, std::size_t r,
+                     Fn&& fn) const {
+    const auto scan_cell = [&](std::size_t x, std::size_t y) {
+      const std::size_t cell = y * nx_ + x;
+      for (std::uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1];
+           ++k) {
+        fn(static_cast<std::size_t>(items_[k]));
+      }
+    };
+    if (r == 0) {
+      scan_cell(cx, cy);
+      return;
+    }
+    const std::size_t x0 = cx >= r ? cx - r : 0;
+    const std::size_t x1 = cx + r < nx_ ? cx + r : nx_ - 1;
+    const std::size_t y0 = cy >= r ? cy - r : 0;
+    const std::size_t y1 = cy + r < ny_ ? cy + r : ny_ - 1;
+    for (std::size_t y = y0; y <= y1; ++y) {
+      const bool edge_row = (cy >= r && y == cy - r) || y == cy + r;
+      if (edge_row) {
+        for (std::size_t x = x0; x <= x1; ++x) scan_cell(x, y);
+      } else {
+        if (cx >= r) scan_cell(cx - r, y);
+        if (cx + r < nx_) scan_cell(cx + r, y);
+      }
+    }
+  }
+
+  /// Largest ring around (cx, cy) that still intersects the grid.
+  std::size_t MaxRing(std::size_t cx, std::size_t cy) const noexcept {
+    const std::size_t rx = cx > nx_ - 1 - cx ? cx : nx_ - 1 - cx;
+    const std::size_t ry = cy > ny_ - 1 - cy ? cy : ny_ - 1 - cy;
+    return rx > ry ? rx : ry;
+  }
+
   /// Cell coordinate of `v` along one axis, clamped into [0, cells).
   std::size_t CellCoord(double v, double min_v, std::size_t cells) const {
     if (v <= min_v) return 0;

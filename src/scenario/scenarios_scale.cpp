@@ -1,15 +1,21 @@
-// Registered netsim scaling benchmark (ISSUE 5): end-to-end packet
-// simulation at N up to 10k nodes, flat vs clustered, with the
-// death-triggered routing-update cost made visible.
+// Registered netsim scaling benchmark (ISSUE 5, extended for ISSUE 7):
+// end-to-end packet simulation at N up to 100k nodes, flat vs
+// clustered, with the death-triggered routing-update and election costs
+// made visible.
 //
-// Each size runs the same deployment three ways:
+// Each size runs the same deployment four ways:
 //   * flat-incremental — spatial-grid neighbour index + incremental
 //     repair (the production path);
 //   * flat-legacy      — the faithful pre-grid all-pairs recompute per
 //     death (RoutingTable::RecomputeLegacy), run in-bench so the quoted
 //     speedup is measured against the real former implementation (only
-//     up to --legacy-max nodes: O(deaths * N^2) is the point);
-//   * clustered        — LEACH-style rotation on the same topology.
+//     up to --legacy-max nodes: O(deaths * N^2) is the point; above the
+//     cutoff the row stays in the table, marked "skipped");
+//   * clustered        — LEACH-style rotation on the same topology with
+//     grid-accelerated head assignment (the production path);
+//   * clustered-allpairs — the same run with the O(N * heads) all-pairs
+//     head-assignment oracle (HeadAssignMode::kAllPairs), gated on
+//     --legacy-max like flat-legacy and hard-checked for equivalence.
 //
 // Deaths are staged deterministically: a strided subset of nodes gets a
 // battery sized to empty at a chosen instant inside the horizon, so
@@ -68,6 +74,10 @@ std::vector<std::size_t> ParseSizes(const std::string& csv) {
     start = comma + 1;
   }
   util::Require(!sizes.empty(), "flag --sizes needs at least one size");
+  for (std::size_t k = 1; k < sizes.size(); ++k) {
+    util::Require(sizes[k] > sizes[k - 1],
+                  "flag --sizes must be strictly increasing");
+  }
   return sizes;
 }
 
@@ -112,6 +122,9 @@ ScaleRun TimeRun(netsim::NetSimConfig cfg, double cpu_mw, std::uint64_t seed,
       out.report.events += report.events;
       out.report.routing_repairs += report.routing_repairs;
       out.report.routing_repair_s += report.routing_repair_s;
+      out.report.elections += report.elections;
+      out.report.election_s += report.election_s;
+      out.report.assign_s += report.assign_s;
       out.report.packets.generated += report.packets.generated;
       out.report.packets.delivered += report.packets.delivered;
     }
@@ -123,7 +136,7 @@ ScaleRun TimeRun(netsim::NetSimConfig cfg, double cpu_mw, std::uint64_t seed,
 ResultSet RunNetsimScale(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
   const std::vector<std::size_t> sizes =
-      ParseSizes(args.GetString("sizes", "100,1000,5000,10000"));
+      ParseSizes(args.GetString("sizes", "100,1000,5000,10000,100000"));
   const double spacing = args.GetDouble("spacing", 15.0);
   const double hop = args.GetDouble("hop", 40.0);
   const double rate = args.GetDouble("rate", 0.01);
@@ -138,9 +151,10 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
   const double round_s = args.GetDouble("round", horizon / 20.0);
 
   ResultSet results(
-      "netsim at scale: spatial-grid + incremental routing repair vs the "
-      "legacy full recompute, flat and clustered");
-  results.SetMeta("sizes", args.GetString("sizes", "100,1000,5000,10000"));
+      "netsim at scale: spatial-grid routing repair and head assignment "
+      "vs their all-pairs baselines, flat and clustered");
+  results.SetMeta("sizes",
+                  args.GetString("sizes", "100,1000,5000,10000,100000"));
   results.SetMeta("spacing", util::FormatFixed(spacing, 0) + " m");
   results.SetMeta("hop", util::FormatFixed(hop, 0) + " m");
   results.SetMeta("rate", util::FormatFixed(rate, 3) + " /s per node");
@@ -150,10 +164,14 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
   results.SetMeta("replications", std::to_string(replications));
   results.SetMeta("seed", std::to_string(seed));
 
+  // "elections" / "assign (s)" are appended at the END of the header
+  // list on purpose: bench_compare.py zips rows positionally against the
+  // baseline's headers, so older baselines still align column for
+  // column.
   ResultTable& table = results.AddTable(
       "scale", {"config", "nodes", "deaths", "route updates", "events",
                 "wall (s)", "events/s", "repair (s)", "repair %",
-                "speedup vs legacy"});
+                "speedup vs legacy", "elections", "assign (s)"});
 
   // With --metrics active the internal obs timings (routing repair,
   // election, head assignment) join the bench JSON as their own table,
@@ -228,14 +246,32 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
       }
     }
 
-    // --- clustered (LEACH) on the same topology ----------------------
+    // --- clustered (LEACH): grid assignment (production) vs the
+    // all-pairs oracle, mirroring the flat legacy gating ---------------
     netsim::NetSimConfig ccfg = cfg;
     ccfg.routing_update = netsim::RoutingUpdateMode::kIncremental;
     ccfg.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
     ccfg.cluster.head_fraction = 0.05;
     ccfg.cluster.round_s = round_s;
     ccfg.cluster.aggregation = 4;
+    ccfg.cluster.assign = netsim::HeadAssignMode::kGrid;
     const ScaleRun clustered = TimeRun(ccfg, cpu_mw, seed, replications);
+
+    bool ran_allpairs = false;
+    ScaleRun allpairs;
+    if (n <= legacy_max) {
+      ccfg.cluster.assign = netsim::HeadAssignMode::kAllPairs;
+      allpairs = TimeRun(ccfg, cpu_mw, seed, replications);
+      ran_allpairs = true;
+      if (allpairs.report.events != clustered.report.events ||
+          allpairs.report.packets.delivered !=
+              clustered.report.packets.delivered ||
+          allpairs.deaths != clustered.deaths) {
+        throw util::Error(
+            "netsim-scale: grid and all-pairs head assignment diverged "
+            "at N=" + std::to_string(n));
+      }
+    }
 
     const auto add_row = [&](const std::string& mode, const ScaleRun& run,
                              const std::string& speedup) {
@@ -250,7 +286,17 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
            util::FormatFixed(run.report.routing_repair_s, 3),
            util::FormatFixed(
                100.0 * run.report.routing_repair_s / run.wall_s, 1),
-           speedup});
+           speedup, std::to_string(run.report.elections),
+           util::FormatFixed(run.report.assign_s, 3)});
+    };
+    // A baseline gated out by --legacy-max keeps its row, explicitly
+    // marked, so consumers (and bench_compare.py) see "skipped" instead
+    // of a silently missing key.
+    const auto add_skipped = [&](const std::string& mode) {
+      table.AddRow({"N=" + std::to_string(n) + " " + mode,
+                    std::to_string(n), "skipped", "skipped", "skipped",
+                    "skipped", "skipped", "skipped", "skipped",
+                    "skipped (N > legacy-max)", "skipped", "skipped"});
     };
     const auto add_obs = [&](const std::string& mode, const ScaleRun& run) {
       if (ctx.obs != nullptr) ctx.obs->Contribute(run.metrics, run.trace);
@@ -269,10 +315,19 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
               util::FormatFixed(legacy.wall_s / inc.wall_s, 2));
       add_obs("flat-legacy", legacy);
     } else {
+      add_skipped("flat-legacy");
       add_row("flat-incremental", inc, "n/a (legacy skipped)");
     }
     add_obs("flat-incremental", inc);
-    add_row("clustered", clustered, "-");
+    if (ran_allpairs) {
+      add_row("clustered-allpairs", allpairs, "1.00");
+      add_row("clustered", clustered,
+              util::FormatFixed(allpairs.wall_s / clustered.wall_s, 2));
+      add_obs("clustered-allpairs", allpairs);
+    } else {
+      add_skipped("clustered-allpairs");
+      add_row("clustered", clustered, "n/a (all-pairs skipped)");
+    }
     add_obs("clustered", clustered);
   }
 
@@ -287,21 +342,25 @@ ResultSet RunNetsimScale(const ScenarioContext& ctx) {
       "flat-legacy re-routes a death with the pre-grid all-pairs scan "
       "(O(N^2), one sqrt per pair); flat-incremental repairs only the "
       "routes through the dead node over the spatial-grid neighbour "
-      "index.  Both paths must produce identical reports — the run "
-      "aborts on divergence.  Timings are wall-clock and "
-      "machine-dependent; diff two JSON outputs with "
-      "tools/bench_compare.py.");
+      "index.  clustered-allpairs assigns members to heads with the "
+      "O(N * heads) scan; clustered uses the ring-expanding grid "
+      "search.  Paired paths must produce identical reports — the run "
+      "aborts on divergence; their speedup columns compare against "
+      "their own oracle (flat-legacy / clustered-allpairs = 1.00).  "
+      "Timings are wall-clock and machine-dependent; diff two JSON "
+      "outputs with tools/bench_compare.py.");
   return results;
 }
 
 const ScenarioRegistrar reg_netsim_scale(MakeScenario(
     "netsim-scale",
-    "scaling benchmark: grid-indexed incremental routing repair vs the "
-    "legacy full recompute at N up to 10k, flat and clustered",
+    "scaling benchmark: grid-indexed incremental routing repair and "
+    "grid-accelerated head assignment vs their all-pairs baselines at N "
+    "up to 100k, flat and clustered",
     "extension (engineering benchmark, BENCH_netsim_scale.json)",
     {
-        {"sizes", "CSV", "100,1000,5000,10000",
-         "comma-separated node counts"},
+        {"sizes", "CSV", "100,1000,5000,10000,100000",
+         "comma-separated node counts (strictly increasing)"},
         {"spacing", "M", "15", "grid spacing (m)"},
         {"hop", "M", "40", "max radio hop range (m)"},
         {"rate", "L", "0.01", "per-node report rate (1/s)"},

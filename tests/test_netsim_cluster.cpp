@@ -47,6 +47,20 @@ NetSimConfig GridConfig(std::size_t cols, std::size_t rows,
   return cfg;
 }
 
+/// Assignment-helper view over test-owned vectors (energies already
+/// current, so no refresh hook; grid mode unless a test overrides).
+ClusterView MakeView(const std::vector<node::Position>& positions,
+                     const std::vector<node::Position>& sinks,
+                     const std::vector<bool>& alive,
+                     const std::vector<double>& energy) {
+  ClusterView view;
+  view.positions = &positions;
+  view.sinks = &sinks;
+  view.alive = &alive;
+  view.energy_fraction = &energy;
+  return view;
+}
+
 NetSimConfig LeachConfig(std::size_t cols, std::size_t rows,
                          double battery_mah, double round_s) {
   NetSimConfig cfg = GridConfig(cols, rows, battery_mah);
@@ -169,7 +183,7 @@ TEST(ClusteringProtocols, LeachElectsAndRotatesDeterministically) {
   const std::vector<node::Position> sinks = {{0.0, 0.0}};
   const std::vector<bool> alive(positions.size(), true);
   const std::vector<double> energy(positions.size(), 1.0);
-  ClusterView view{&positions, &sinks, &alive, &energy};
+  ClusterView view = MakeView(positions, sinks, alive, energy);
 
   LeachClustering a(0.3);
   LeachClustering b(0.3);
@@ -192,7 +206,7 @@ TEST(ClusteringProtocols, StaticKeepsHeadsAndNeverReplacesDeadOnes) {
   const std::vector<node::Position> sinks = {{0.0, 0.0}};
   std::vector<bool> alive(positions.size(), true);
   const std::vector<double> energy(positions.size(), 1.0);
-  ClusterView view{&positions, &sinks, &alive, &energy};
+  ClusterView view = MakeView(positions, sinks, alive, energy);
 
   StaticClustering protocol(2);
   util::Rng rng(7);
@@ -214,6 +228,262 @@ TEST(ClusteringProtocols, StaticKeepsHeadsAndNeverReplacesDeadOnes) {
   for (std::size_t i = 0; i < positions.size(); ++i) {
     if (alive[i]) {
       EXPECT_EQ(stranded.head_of[i], ClusterAssignment::kUnclustered);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Grid-accelerated head assignment (ISSUE 7): the ring-search path must
+// match the all-pairs oracle member for member, including tie-breaks.
+
+void ExpectAssignmentsEqual(const ClusterAssignment& grid,
+                            const ClusterAssignment& oracle,
+                            const char* what) {
+  EXPECT_EQ(grid.heads, oracle.heads) << what;
+  ASSERT_EQ(grid.head_of.size(), oracle.head_of.size()) << what;
+  for (std::size_t i = 0; i < grid.head_of.size(); ++i) {
+    EXPECT_EQ(grid.head_of[i], oracle.head_of[i]) << what << ": node " << i;
+  }
+}
+
+/// The in-place repair contract: heads and every *alive* row match the
+/// full-reassign oracle; dead members' rows may keep their (never read)
+/// last assignment.
+void ExpectAssignmentsEquivalent(const ClusterAssignment& inplace,
+                                 const ClusterAssignment& oracle,
+                                 const std::vector<bool>& alive,
+                                 const char* what) {
+  EXPECT_EQ(inplace.heads, oracle.heads) << what;
+  ASSERT_EQ(inplace.head_of.size(), oracle.head_of.size()) << what;
+  for (std::size_t i = 0; i < inplace.head_of.size(); ++i) {
+    if (!alive[i]) continue;
+    EXPECT_EQ(inplace.head_of[i], oracle.head_of[i]) << what << ": node " << i;
+  }
+}
+
+TEST(HeadAssignment, ModeNamesRoundTrip) {
+  EXPECT_STREQ(HeadAssignModeName(HeadAssignMode::kGrid), "grid");
+  EXPECT_STREQ(HeadAssignModeName(HeadAssignMode::kAllPairs), "all-pairs");
+  EXPECT_EQ(ParseHeadAssignMode("grid"), HeadAssignMode::kGrid);
+  EXPECT_EQ(ParseHeadAssignMode("all-pairs"), HeadAssignMode::kAllPairs);
+  EXPECT_THROW(ParseHeadAssignMode("fast"), util::InvalidArgument);
+}
+
+TEST(HeadAssignment, GridMatchesAllPairsOverRandomKillAndElectionSequences) {
+  // Random deployments, random head sets of every size (1 head through
+  // ~a third of the nodes, well past the small-k all-pairs dispatch
+  // cutoff), random interleaved member/head kills.  After every kill the
+  // two strategies must agree exactly — argmin and lowest-head-index
+  // tie-break both.
+  util::Rng rng(20080101);
+  for (int seq = 0; seq < 60; ++seq) {
+    const std::size_t n = 6 + (rng() % 120);
+    const double extent = 50.0 + util::UniformDouble(rng) * 400.0;
+    std::vector<node::Position> positions;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Snap half the sequences to a coarse lattice so exact distance
+      // ties (equidistant heads) actually occur.
+      double x = util::UniformDouble(rng) * extent;
+      double y = util::UniformDouble(rng) * extent;
+      if (seq % 2 == 0) {
+        x = std::floor(x / 20.0) * 20.0;
+        y = std::floor(y / 20.0) * 20.0;
+      }
+      positions.push_back({x, y});
+    }
+    const std::vector<node::Position> sinks = {{0.0, 0.0}};
+    std::vector<bool> alive(n, true);
+    std::vector<double> energy(n, 1.0);
+    ClusterView view = MakeView(positions, sinks, alive, energy);
+
+    for (int round = 0; round < 6; ++round) {
+      // Fresh random head set over the survivors each "election".
+      std::vector<std::size_t> heads;
+      const std::size_t want = 1 + (rng() % (1 + n / 3));
+      for (std::size_t i = 0; i < n && heads.size() < want; ++i) {
+        if (alive[i] && (rng() % 3) == 0) heads.push_back(i);
+      }
+      if (heads.empty()) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (alive[i]) {
+            heads.push_back(i);
+            break;
+          }
+        }
+      }
+      if (heads.empty()) break;  // everyone dead
+      ExpectAssignmentsEqual(AssignToNearestHeadGrid(view, heads),
+                             AssignToNearestHeadAllPairs(view, heads),
+                             "direct grid vs all-pairs");
+      // The dispatcher must agree with the oracle in both modes.
+      view.assign_mode = HeadAssignMode::kGrid;
+      const ClusterAssignment via_grid = AssignToNearestHead(view, heads);
+      view.assign_mode = HeadAssignMode::kAllPairs;
+      const ClusterAssignment via_oracle = AssignToNearestHead(view, heads);
+      ExpectAssignmentsEqual(via_grid, via_oracle, "dispatcher");
+      view.assign_mode = HeadAssignMode::kGrid;
+      // Kill a couple of random survivors before the next election.
+      for (int k = 0; k < 2; ++k) {
+        const std::size_t victim = rng() % n;
+        alive[victim] = false;
+      }
+    }
+  }
+}
+
+TEST(HeadAssignment, IncrementalRepairMatchesFullReassignAcrossChainedDeaths) {
+  // The simulator repairs only on *head* deaths, so member deaths leave
+  // stale entries in the current assignment (and its member lists) until
+  // the next repair — and each repair's output feeds the next (induction
+  // through the chain).  Run two protocol instances in lockstep: the
+  // grid instance repairs in place (RepairInPlace, cached head grid),
+  // the all-pairs instance does the faithful full re-assignment.  They
+  // must agree exactly after every election and every repair.
+  util::Rng rng(7072008);
+  for (int seq = 0; seq < 40; ++seq) {
+    const std::size_t n = 8 + (rng() % 100);
+    const double extent = 60.0 + util::UniformDouble(rng) * 300.0;
+    std::vector<node::Position> positions;
+    for (std::size_t i = 0; i < n; ++i) {
+      double x = util::UniformDouble(rng) * extent;
+      double y = util::UniformDouble(rng) * extent;
+      if (seq % 2 == 0) {  // lattice-snap half the sequences: exact ties
+        x = std::floor(x / 20.0) * 20.0;
+        y = std::floor(y / 20.0) * 20.0;
+      }
+      positions.push_back({x, y});
+    }
+    const std::vector<node::Position> sinks = {{0.0, 0.0}};
+    std::vector<bool> alive(n, true);
+    std::vector<double> energy(n, 1.0);
+    ClusterView grid_view = MakeView(positions, sinks, alive, energy);
+    grid_view.assign_mode = HeadAssignMode::kGrid;
+    ClusterView oracle_view = grid_view;
+    oracle_view.assign_mode = HeadAssignMode::kAllPairs;
+
+    LeachClustering grid_proto(0.25);
+    LeachClustering oracle_proto(0.25);
+    util::Rng grid_rng(900 + seq);
+    util::Rng oracle_rng(900 + seq);
+    ClusterAssignment cur_g = grid_proto.Elect(0, grid_view, grid_rng);
+    ClusterAssignment cur_o = oracle_proto.Elect(0, oracle_view, oracle_rng);
+    ExpectAssignmentsEqual(cur_g, cur_o, "initial election");
+
+    for (int step = 0; step < 30; ++step) {
+      // Every third kill targets a head (all listed heads are alive:
+      // head deaths repair immediately, member deaths never demote);
+      // the rest hit random members and stay unrepaired.
+      std::size_t victim = ClusterAssignment::kUnclustered;
+      if (step % 3 == 0 && !cur_g.heads.empty()) {
+        victim = cur_g.heads[rng() % cur_g.heads.size()];
+      } else {
+        for (std::size_t attempt = 0; attempt < 4 * n; ++attempt) {
+          const std::size_t c = rng() % n;
+          if (alive[c]) {
+            victim = c;
+            break;
+          }
+        }
+      }
+      if (victim == ClusterAssignment::kUnclustered) break;
+      alive[victim] = false;
+      if (cur_g.IsHead(victim)) {
+        std::vector<std::uint32_t> reattached;
+        if (cur_g.heads.size() > 1) {
+          // A survivor exists: the in-place path must take it, and every
+          // re-attached node must really be an alive ex-member of the
+          // dead head.
+          ASSERT_TRUE(grid_proto.RepairInPlace(cur_g, victim, grid_view,
+                                               reattached));
+          EXPECT_EQ(cur_g.head_of[victim], ClusterAssignment::kUnclustered);
+          for (std::uint32_t m : reattached) {
+            EXPECT_TRUE(alive[m]);
+            EXPECT_NE(cur_g.head_of[m], ClusterAssignment::kUnclustered);
+          }
+        } else {
+          // Last head standing: RepairInPlace declines so the protocol's
+          // no-survivor policy (a fresh Elect) can run via Repair.
+          EXPECT_FALSE(grid_proto.RepairInPlace(cur_g, victim, grid_view,
+                                                reattached));
+          EXPECT_TRUE(reattached.empty());
+          cur_g = grid_proto.Repair(cur_g, 1, grid_view, grid_rng);
+        }
+        cur_o = oracle_proto.Repair(cur_o, 1, oracle_view, oracle_rng);
+        ExpectAssignmentsEquivalent(cur_g, cur_o, alive, "chained repair");
+      }
+    }
+  }
+}
+
+TEST(HeadAssignment, HeadsOnCellBoundariesAndCoincidentHeads) {
+  // 25 heads on an exact lattice: the compacted-extent cell size puts
+  // every head precisely on a cell boundary.  Members sit on boundaries
+  // and midpoints; two heads coincide so the lowest-index tie-break is
+  // exercised at zero distance too.
+  std::vector<node::Position> positions;
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      positions.push_back({x * 25.0, y * 25.0});
+    }
+  }
+  std::vector<std::size_t> heads;
+  for (std::size_t i = 0; i < 25; ++i) heads.push_back(i);
+  // Members between the heads, some equidistant to 2 or 4 heads.
+  positions.push_back({12.5, 12.5});
+  positions.push_back({12.5, 0.0});
+  positions.push_back({50.0, 37.5});
+  positions.push_back({100.0, 100.0});  // coincides with head 24
+  positions.push_back({-40.0, 130.0});  // outside the heads' bounding box
+  const std::vector<node::Position> sinks = {{0.0, 0.0}};
+  const std::vector<bool> alive(positions.size(), true);
+  const std::vector<double> energy(positions.size(), 1.0);
+  const ClusterView view = MakeView(positions, sinks, alive, energy);
+  ExpectAssignmentsEqual(AssignToNearestHeadGrid(view, heads),
+                         AssignToNearestHeadAllPairs(view, heads),
+                         "lattice boundary");
+
+  // Coincident heads: both see identical distances everywhere; every
+  // tie must resolve to the lower head index in both strategies.
+  std::vector<node::Position> twin_pos = positions;
+  twin_pos[7] = twin_pos[6];  // head 7 sits exactly on head 6
+  const ClusterView twin_view = MakeView(twin_pos, sinks, alive, energy);
+  const ClusterAssignment tg = AssignToNearestHeadGrid(twin_view, heads);
+  const ClusterAssignment ta = AssignToNearestHeadAllPairs(twin_view, heads);
+  ExpectAssignmentsEqual(tg, ta, "coincident heads");
+}
+
+TEST(HeadAssignment, EmptyHeadsAndAllHeadsDeadFallback) {
+  // No heads at all: every alive node stays kUnclustered in both modes.
+  const std::vector<node::Position> positions = node::MakeGrid(4, 3, 10.0);
+  const std::vector<node::Position> sinks = {{0.0, 0.0}};
+  std::vector<bool> alive(positions.size(), true);
+  std::vector<double> energy(positions.size(), 1.0);
+  ClusterView view = MakeView(positions, sinks, alive, energy);
+  const ClusterAssignment none = AssignToNearestHead(view, {});
+  EXPECT_TRUE(none.heads.empty());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    EXPECT_EQ(none.head_of[i], ClusterAssignment::kUnclustered);
+  }
+
+  // All current heads dead: the default Repair falls back to a fresh
+  // election for the round, and the survivors end up clustered again
+  // under the grid assignment path.
+  LeachClustering protocol(0.3);
+  util::Rng rng(11);
+  const ClusterAssignment first = protocol.Elect(0, view, rng);
+  ASSERT_FALSE(first.heads.empty());
+  for (const std::size_t h : first.heads) {
+    alive[h] = false;
+    energy[h] = 0.0;
+  }
+  const ClusterAssignment repaired = protocol.Repair(first, 0, view, rng);
+  ASSERT_FALSE(repaired.heads.empty());
+  for (const std::size_t h : repaired.heads) {
+    EXPECT_TRUE(alive[h]) << "re-elected head " << h << " must be alive";
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (alive[i]) {
+      EXPECT_NE(repaired.head_of[i], ClusterAssignment::kUnclustered) << i;
     }
   }
 }

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/models.hpp"
@@ -113,6 +114,118 @@ TEST(SpatialGrid, RejectsInvalidInput) {
   EXPECT_THROW(SpatialGrid({}, 10.0), util::InvalidArgument);
   EXPECT_THROW(SpatialGrid({{0.0, 0.0}}, 0.0), util::InvalidArgument);
   EXPECT_THROW(SpatialGrid({{0.0, 0.0}}, -5.0), util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Ring-expanding queries (ISSUE 7): ForEachInRadius and NearestWhere.
+
+std::size_t BruteNearest(const std::vector<node::Position>& pos,
+                         const std::vector<bool>& usable, node::Position p) {
+  std::size_t best = SpatialGrid::kNone;
+  double best2 = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < pos.size(); ++j) {
+    if (!usable[j]) continue;
+    const double d2 = node::Distance2(p, pos[j]);
+    if (d2 < best2) {  // strict: ties keep the lowest index
+      best2 = d2;
+      best = j;
+    }
+  }
+  return best;
+}
+
+TEST(SpatialGridRings, RadiusQueryCoversEveryInRangeNode) {
+  // Radius queries must be supersets of the exact disc for radii both
+  // below and well above the cell size (multi-ring reach).
+  util::Rng rng(7);
+  std::vector<node::Position> pos;
+  for (int i = 0; i < 150; ++i) {
+    pos.push_back({util::UniformDouble(rng) * 400.0,
+                   util::UniformDouble(rng) * 250.0});
+  }
+  const SpatialGrid grid(pos, 40.0);
+  for (const double radius : {10.0, 40.0, 95.0, 1000.0}) {
+    for (std::size_t i = 0; i < pos.size(); i += 7) {
+      std::vector<std::size_t> seen;
+      grid.ForEachInRadius(pos[i], radius,
+                           [&](std::size_t j) { seen.push_back(j); });
+      for (std::size_t j = 0; j < pos.size(); ++j) {
+        if (node::Distance2(pos[i], pos[j]) <= radius * radius) {
+          EXPECT_TRUE(Contains(seen, j))
+              << "node " << j << " within " << radius << " m of " << i
+              << " but not visited";
+        }
+      }
+    }
+  }
+}
+
+TEST(SpatialGridRings, RadiusQueryClampsOffGridPoints) {
+  const std::vector<node::Position> pos{{10.0, 10.0}, {200.0, 10.0}};
+  const SpatialGrid grid(pos, 25.0);
+  std::vector<std::size_t> seen;
+  grid.ForEachInRadius({-300.0, -300.0}, 500.0,
+                       [&](std::size_t j) { seen.push_back(j); });
+  EXPECT_TRUE(Contains(seen, 0));
+  EXPECT_TRUE(Contains(seen, 1));
+}
+
+TEST(SpatialGridRings, NearestMatchesBruteForceOnRandomClouds) {
+  // The exactness + lowest-index-tie-break contract, checked against a
+  // brute-force scan over random clouds, random exclusion masks, and
+  // query points inside, between and far outside the bounding box.  The
+  // sparse cell size leaves most cells empty, so the expanding search
+  // crosses many empty rings before it can stop.
+  util::Rng rng(2008);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t n = 1 + (rng() % 50);
+    std::vector<node::Position> pos;
+    for (std::size_t i = 0; i < n; ++i) {
+      pos.push_back({util::UniformDouble(rng) * 300.0,
+                     util::UniformDouble(rng) * 300.0});
+    }
+    const double cell = 5.0 + util::UniformDouble(rng) * 60.0;
+    const SpatialGrid grid(pos, cell);
+    std::vector<bool> usable(n, true);
+    for (std::size_t i = 0; i < n; ++i) usable[i] = (rng() % 4) != 0;
+    for (int q = 0; q < 10; ++q) {
+      const node::Position p{util::UniformDouble(rng) * 600.0 - 150.0,
+                             util::UniformDouble(rng) * 600.0 - 150.0};
+      const auto pd2 = [&](std::size_t j) {
+        return usable[j] ? node::Distance2(p, pos[j])
+                         : std::numeric_limits<double>::infinity();
+      };
+      EXPECT_EQ(grid.NearestWhere(p, pd2), BruteNearest(pos, usable, p))
+          << "rep " << rep << " query " << q;
+    }
+  }
+}
+
+TEST(SpatialGridRings, NearestTiesBreakTowardLowestIndex) {
+  // Two candidates exactly equidistant from the query point, placed in
+  // different cells so ring order alone cannot decide.
+  const std::vector<node::Position> pos{{100.0, 50.0}, {0.0, 50.0}};
+  const SpatialGrid grid(pos, 20.0);
+  const node::Position q{50.0, 50.0};
+  const std::size_t got = grid.NearestWhere(
+      q, [&](std::size_t j) { return node::Distance2(q, pos[j]); });
+  EXPECT_EQ(got, 0u);
+}
+
+TEST(SpatialGridRings, NearestOnSingleOccupantAndAllExcludedGrids) {
+  const SpatialGrid one({{5.0, 5.0}}, 10.0);
+  const node::Position far_q{900.0, -900.0};
+  EXPECT_EQ(one.NearestWhere(far_q,
+                             [&](std::size_t) {
+                               return node::Distance2(far_q, {5.0, 5.0});
+                             }),
+            0u);
+  // Every candidate excluded (the all-heads-dead case) -> kNone.
+  EXPECT_EQ(one.NearestWhere(far_q,
+                             [](std::size_t) {
+                               return std::numeric_limits<double>::infinity();
+                             }),
+            SpatialGrid::kNone);
 }
 
 TEST(Distance2, MatchesSquaredDistance) {

@@ -5,6 +5,7 @@
 // (netsim-lifetime).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,42 @@ TEST(ScenarioDeterminism, NetsimClusteredByteIdenticalAcrossThreadCounts) {
               "--seed=12"},
              1);
   EXPECT_NE(serial, other_seed);
+}
+
+// Cross-change output pins (ISSUE 7): the SoA node-state restructuring,
+// batched LPL wakeups and grid head assignment are pure layout/speed
+// changes — the rendered scenario output for a fixed (flags, seed) must
+// be byte-for-byte what the pre-change array-of-structs simulator
+// produced.  The FNV-1a hashes below were captured BEFORE the refactor;
+// a mismatch means the refactor changed simulation behaviour, not just
+// performance.  Re-pin only with an explicit note in docs/performance.md.
+std::uint64_t Fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(ScenarioDeterminism, NetsimLifetimeOutputPinnedAcrossSoARefactor) {
+  const std::string out =
+      RunAll("netsim-lifetime",
+             {"--cols=5", "--rows=4", "--horizon=1200", "--replications=2",
+              "--seed=2008"},
+             1);
+  EXPECT_EQ(out.size(), 4826u);
+  EXPECT_EQ(Fnv1a64(out), 0x2312344034942ccaull);
+}
+
+TEST(ScenarioDeterminism, NetsimClusteredOutputPinnedAcrossSoARefactor) {
+  const std::string out =
+      RunAll("netsim-clustered",
+             {"--cols=6", "--rows=6", "--horizon=900", "--replications=2",
+              "--seed=2008"},
+             1);
+  EXPECT_EQ(out.size(), 6246u);
+  EXPECT_EQ(Fnv1a64(out), 0x659e0f3c8c3316b5ull);
 }
 
 TEST(ScenarioRun, RejectsInvalidEffortFlags) {
