@@ -13,6 +13,7 @@ void MacConfig::Validate() const {
   Require(backoff_window_s >= 0.0, "backoff window must be >= 0");
   Require(wakeup_interval_s >= 0.0, "wakeup interval must be >= 0");
   Require(p_loss >= 0.0 && p_loss < 1.0, "p_loss must be in [0, 1)");
+  Require(backoff_growth >= 1.0, "backoff growth must be >= 1.0");
   Require(max_queue > 0, "MAC queue capacity must be positive");
 }
 
@@ -30,10 +31,18 @@ DutyCycledMac::DutyCycledMac(MacConfig config, std::size_t node_count,
 
 DutyCycledMac::TxTiming DutyCycledMac::TxFinish(double now, std::size_t bits,
                                                 std::size_t receiver,
-                                                util::Rng& rng) const {
+                                                util::Rng& rng,
+                                                std::uint32_t attempt) const {
   double start = now;
   if (config_.backoff_window_s > 0.0) {
-    start += util::UniformDouble(rng) * config_.backoff_window_s;
+    double window = config_.backoff_window_s;
+    // Guarded multiply: at the default growth of 1.0 the window — and
+    // the whole timing arithmetic — stays bit-identical to the
+    // historical constant-window MAC.
+    if (attempt > 0 && config_.backoff_growth > 1.0) {
+      window *= std::pow(config_.backoff_growth, static_cast<double>(attempt));
+    }
+    start += util::UniformDouble(rng) * window;
   }
   if (config_.wakeup_interval_s > 0.0 && receiver != kSinkReceiver) {
     // Wait for the receiver's next wake slot at phase + k * interval.

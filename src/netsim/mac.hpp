@@ -27,13 +27,20 @@ namespace wsn::netsim {
 struct MacConfig {
   double bitrate_bps = 250000.0;    ///< CC2420-class payload rate
   double backoff_window_s = 0.004;  ///< uniform [0, w) CSMA backoff per TX
+  /// Exponential-backoff growth: retry attempt k draws its backoff from
+  /// [0, backoff_window_s * growth^k).  Must be >= 1.0; the default 1.0
+  /// reproduces the historical constant window bit for bit (same single
+  /// uniform draw, same arithmetic), which the pinned scenario outputs
+  /// ride on.
+  double backoff_growth = 1.0;
   double wakeup_interval_s = 0.0;   ///< LPL slot period; 0 = always-on
   double p_loss = 0.0;              ///< per-attempt link loss probability
   std::size_t max_retries = 3;      ///< extra attempts before dropping
   std::size_t max_queue = 1024;     ///< per-node MAC queue capacity
 
   /// Throws util::InvalidArgument on non-positive bitrate, negative
-  /// windows/periods, or a loss probability outside [0, 1).
+  /// windows/periods, a loss probability outside [0, 1), or a backoff
+  /// growth below 1.
   void Validate() const;
 };
 
@@ -78,9 +85,13 @@ class DutyCycledMac {
 
   /// Completion time of one attempt started at `now` toward `receiver`:
   /// now + backoff + (LPL) wait for the receiver's wake slot +
-  /// serialization.
+  /// serialization.  `attempt` is the retry index of this transmission
+  /// (0 = first attempt) and widens the backoff window by
+  /// backoff_growth^attempt; with the default growth of 1.0 it is
+  /// ignored and the timing is bit-identical to the historical
+  /// constant-window MAC.
   TxTiming TxFinish(double now, std::size_t bits, std::size_t receiver,
-                    util::Rng& rng) const;
+                    util::Rng& rng, std::uint32_t attempt = 0) const;
 
   /// Bernoulli(p_loss) draw for one attempt.
   bool AttemptLost(util::Rng& rng) const;

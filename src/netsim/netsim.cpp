@@ -1,6 +1,7 @@
 #include "netsim/netsim.hpp"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "energy/energy_model.hpp"
@@ -44,9 +45,15 @@ void NetSimConfig::Validate() const {
   Require(timeline_interval_s >= 0.0, "timeline interval must be >= 0");
   Require(battery_mah_override.empty() ||
               battery_mah_override.size() == positions.size(),
-          "battery override must be empty or one entry per node");
-  for (double mah : battery_mah_override) {
-    Require(mah > 0.0, "battery override entries must be positive");
+          "NetSimConfig::battery_mah_override has " +
+              std::to_string(battery_mah_override.size()) + " entries for " +
+              std::to_string(positions.size()) +
+              " nodes (must be empty or one per node)");
+  for (std::size_t i = 0; i < battery_mah_override.size(); ++i) {
+    Require(battery_mah_override[i] > 0.0,
+            "NetSimConfig::battery_mah_override[" + std::to_string(i) +
+                "] = " + std::to_string(battery_mah_override[i]) +
+                " (capacities must be positive)");
   }
   for (const NodeClass& cls : classes) cls.Validate();
   const auto index = ClassIndex(classes);
@@ -61,6 +68,7 @@ void NetSimConfig::Validate() const {
   }
   mac.Validate();
   cluster.Validate();
+  faults.Validate();
   // Reuse the node-layer validation (duty cycle, sample bits, ...).
   node::SensorNode validator(network.node);
   (void)validator;
@@ -72,6 +80,12 @@ std::vector<node::Position> EffectiveSinks(const NetSimConfig& config) {
 }
 
 std::vector<node::NodeConfig> PerNodeConfigs(const NetSimConfig& config) {
+  Require(config.battery_mah_override.empty() ||
+              config.battery_mah_override.size() == config.positions.size(),
+          "NetSimConfig::battery_mah_override has " +
+              std::to_string(config.battery_mah_override.size()) +
+              " entries for " + std::to_string(config.positions.size()) +
+              " nodes (must be empty or one per node)");
   const auto index = ClassIndex(config.classes);
   std::vector<node::NodeConfig> out;
   out.reserve(config.positions.size());
@@ -138,7 +152,23 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
   queues_ = PacketQueues(n);
   agg_payloads_.assign(n, 0);
   death_event_.assign(n, 0);
+  arrival_event_.assign(n, 0);
   stats_.resize(n);
+
+  if (config_.faults.Enabled()) {
+    down_.assign(n, 0);
+    tx_void_.assign(n, 0);
+    down_since_.assign(n, 0.0);
+    // One draw from the replication stream seeds a dedicated fault
+    // stream: the whole plan costs the main stream a single uint64, and
+    // with faults disabled (faults_ == nullptr) it costs zero draws —
+    // which is what keeps every fault-free output bit-identical to the
+    // pre-fault engine.
+    faults_ = std::make_unique<FaultEngine>(
+        FaultPlan::Generate(config_.faults, config_.positions,
+                            EffectiveSinks(config_).size(), config_.horizon_s,
+                            util::Rng(rng_())));
+  }
 
   protocol_ = config_.cluster.MakeProtocol(n);
   if (protocol_ != nullptr) {
@@ -166,6 +196,10 @@ NetworkSimulator::NetworkSimulator(NetSimConfig config, double cpu_power_mw,
     // covers incremental repairs (~us) up to legacy full recomputes.
     repair_hist_ = metrics_->TimingHist("netsim.routing.repair_latency_s",
                                         0.0, 0.05, 25);
+    if (faults_ != nullptr) {
+      outage_hist_ =
+          metrics_->Hist("netsim.faults.outage_s", 0.0, config_.horizon_s, 20);
+    }
   }
   if (config_.obs.trace.enabled) {
     trace_ = std::make_unique<obs::TraceSink>(config_.obs.trace);
@@ -185,6 +219,15 @@ NetSimReport NetworkSimulator::Run() {
   for (std::size_t i = 0; i < n; ++i) {
     ScheduleNextArrival(i);
     RescheduleDeath(i);
+  }
+  if (faults_ != nullptr) {
+    // The plan is immutable and time-sorted; each event carries only its
+    // index, so the closures stay inline in the kernel's event slab.
+    const std::vector<FaultEvent>& plan = faults_->Events();
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+      if (plan[k].t > config_.horizon_s) break;
+      sim_.ScheduleAt(plan[k].t, [this, k] { OnFaultEvent(k); });
+    }
   }
   if (config_.timeline_interval_s > 0.0) {
     sim_.ScheduleAt(config_.timeline_interval_s, [this] { TimelineTick(); });
@@ -212,7 +255,21 @@ NetSimReport NetworkSimulator::Run() {
   report.first_death_s = first_death_s_;
   report.first_dead_node = first_dead_node_;
   report.partition_s = partition_s_;
+  report.heal_s = heal_s_;
   report.end_s = end;
+  report.crashes = crashes_;
+  report.recoveries = recoveries_;
+  if (faults_ != nullptr) {
+    report.jam_windows = faults_->JamWindows();
+    report.sink_outage_windows = faults_->SinkOutages();
+  }
+  // Conservation bookkeeping: whatever is still buffered (MAC FIFOs and
+  // head aggregation buffers) is "in flight at the horizon".  The packet
+  // currently being transmitted stays at its queue front until FinishTx
+  // pops it, so the queue walk already counts it.
+  for (std::size_t i = 0; i < n; ++i) {
+    report.in_flight += queues_.PayloadSum(i) + agg_payloads_[i];
+  }
   report.events = sim_.ProcessedEvents();
   report.routing_repairs = repair_sw_.calls;
   report.routing_repair_s = repair_sw_.seconds;
@@ -226,15 +283,17 @@ NetSimReport NetworkSimulator::Run() {
 }
 
 void NetworkSimulator::ScheduleNextArrival(std::size_t i) {
+  arrival_event_[i] = 0;
   if (!traffic_[i]) return;
   const auto next = traffic_[i]->NextArrival(sim_.Now(), rng_);
   if (!next) return;
   const double t = std::max(*next, sim_.Now());
   if (t > config_.horizon_s) return;
-  sim_.ScheduleAt(t, [this, i] { OnArrival(i); });
+  arrival_event_[i] = sim_.ScheduleAt(t, [this, i] { OnArrival(i); });
 }
 
 void NetworkSimulator::OnArrival(std::size_t i) {
+  arrival_event_[i] = 0;
   if (stopped_) return;
   if (!alive_[i]) return;  // dead sources stop reporting
   ++counters_.generated;
@@ -290,7 +349,7 @@ void NetworkSimulator::StartNext(std::size_t i) {
                                        ? DutyCycledMac::kSinkReceiver
                                        : receiver;
   const DutyCycledMac::TxTiming tx =
-      mac_.TxFinish(sim_.Now(), pkt.bits, mac_receiver, rng_);
+      mac_.TxFinish(sim_.Now(), pkt.bits, mac_receiver, rng_, pkt.retries);
   ScheduleTxFinish(i, tx);
 }
 
@@ -342,6 +401,14 @@ void NetworkSimulator::FireWakeups(std::size_t slot) {
 void NetworkSimulator::FinishTx(std::size_t i) {
   if (stopped_) return;
   busy_[i] = 0;
+  if (faults_ != nullptr && tx_void_[i]) {
+    // A crash interrupted this transmission: the event fires but the
+    // attempt never happened (the crash already flushed the packet), so
+    // swallow it — and restart the pipeline if the node has recovered.
+    tx_void_[i] = 0;
+    if (alive_[i]) StartNext(i);
+    return;
+  }
   if (!alive_[i]) return;  // died mid-TX; the queue was flushed at death
   if (queues_.Empty(i)) return;
   Packet pkt = queues_.Front(i);
@@ -358,9 +425,14 @@ void NetworkSimulator::FinishTx(std::size_t i) {
   DrainDiscrete(i, radio_[i].TransmitEnergy(pkt.bits, HopDistanceOf(i)));
   TracePacket("tx", i, pkt);
 
+  // A sink inside an outage window accepts nothing: the attempt fails
+  // exactly like a link loss (retries burn, then the packet drops).
+  const bool sink_out =
+      receiver == RoutingTable::kSink && faults_ != nullptr &&
+      faults_->SinkDown(routing_.NearestSinkIndex(i), sim_.Now());
   if (receiver != RoutingTable::kSink && !alive_[receiver]) {
     DropPacket(i, DropReason::kDeadNextHop, pkt.payload);
-  } else if (mac_.AttemptLost(rng_)) {
+  } else if (sink_out || AttemptLost(i)) {
     if (pkt.retries >= mac_.Config().max_retries) {
       DropPacket(i, DropReason::kLinkLoss, pkt.payload);
     } else if (alive_[i]) {
@@ -462,9 +534,15 @@ void NetworkSimulator::OnDeath(std::size_t i) {
     if (config_.stop_at_first_death) Stop();
   }
   if (stopped_) return;
-  // Every death in clustered mode updates routing state (a member death
-  // clears its own uplink, a head death rebuilds or repairs); in flat
-  // mode only rerouting-enabled runs do.
+  RepairAfterLoss(i);
+}
+
+void NetworkSimulator::RepairAfterLoss(std::size_t i) {
+  // Every loss in clustered mode updates routing state (a member loss
+  // clears its own uplink, a head loss rebuilds or repairs); in flat
+  // mode only rerouting-enabled runs do.  Shared by battery deaths and
+  // fault crashes: the routing consequence of leaving the alive set is
+  // identical, only the death/crash bookkeeping around it differs.
   const bool repaired = Clustered() || config_.rerouting;
   obs::PhaseTimer repair_timer(repaired ? &repair_sw_ : nullptr);
   if (Clustered()) {
@@ -508,8 +586,160 @@ void NetworkSimulator::OnDeath(std::size_t i) {
   CheckPartition();
 }
 
+void NetworkSimulator::OnFaultEvent(std::size_t k) {
+  if (stopped_) return;
+  const FaultEvent& e = faults_->Events()[k];
+  if (e.kind == FaultEventKind::kCrash) {
+    OnCrash(e.node);
+  } else {
+    OnRecover(e.node);
+  }
+}
+
+void NetworkSimulator::OnCrash(std::size_t i) {
+  // A battery-dead or already-crashed node has nothing left to crash;
+  // its paired recover event then no-ops too (down_ guard), so a Poisson
+  // crash landing inside a battery-death window never resurrects anyone.
+  if (!alive_[i]) return;
+  const double now = sim_.Now();
+  Touch(i, now);  // baseline paid up to the crash instant, none during it
+  alive_[i] = false;
+  down_[i] = 1;
+  down_since_[i] = now;
+  ++crashes_;
+  if (death_event_[i] != 0) {
+    sim_.Cancel(death_event_[i]);
+    death_event_[i] = 0;
+  }
+  if (arrival_event_[i] != 0) {
+    sim_.Cancel(arrival_event_[i]);
+    arrival_event_[i] = 0;
+  }
+  // An interrupted transmission completes nothing: its pending FinishTx
+  // must be swallowed, not treated as a finished attempt after recovery.
+  if (busy_[i]) tx_void_[i] = 1;
+  // The backlog dies with the crash.  Deliberately the same cause as a
+  // battery death (the holder went silent with packets queued): a
+  // dedicated crash reason would change the drops table layout every
+  // fault-free pinned output shows.
+  while (!queues_.Empty(i)) {
+    DropPacket(i, DropReason::kNodeDied, queues_.Front(i).payload);
+    queues_.PopFront(i);
+  }
+  if (agg_payloads_[i] > 0) {
+    DropPacket(i, DropReason::kNodeDied, agg_payloads_[i]);
+    agg_payloads_[i] = 0;
+  }
+  // Crashes are transient: no death_s stamp, no first-death latch — the
+  // stop_at_first_death contract still means *battery* death.
+  RepairAfterLoss(i);
+}
+
+void NetworkSimulator::OnRecover(std::size_t i) {
+  if (stopped_ || !down_[i]) return;
+  const double now = sim_.Now();
+  down_[i] = 0;
+  alive_[i] = true;
+  // No baseline drain accrues over the outage: the node rejoins with the
+  // charge it crashed with.
+  last_update_s_[i] = now;
+  ++recoveries_;
+  if (outage_hist_ != nullptr) outage_hist_->Add(now - down_since_[i]);
+  RescheduleDeath(i);
+
+  // Re-admit the node to the routing state — the dual of RepairAfterLoss,
+  // timed by the same stopwatch (recoveries are route updates too).
+  const bool repaired = Clustered() || config_.rerouting;
+  obs::PhaseTimer repair_timer(repaired ? &repair_sw_ : nullptr);
+  if (Clustered()) {
+    if (config_.rerouting) {
+      ReadmitRevived(i);
+    } else {
+      RebuildClusterRoutes();
+    }
+  } else if (config_.rerouting) {
+    switch (config_.routing_update) {
+      case RoutingUpdateMode::kIncremental:
+        routing_.RepairAfterRecovery(i, alive_);
+        break;
+      case RoutingUpdateMode::kFull:
+        routing_.Recompute(alive_);
+        break;
+      case RoutingUpdateMode::kLegacy:
+        routing_.RecomputeLegacy(alive_);
+        break;
+    }
+  }
+  const double repair_elapsed = repair_timer.Stop();
+  if (repaired && repair_hist_ != nullptr) repair_hist_->Add(repair_elapsed);
+  CheckPartition();  // a revival can heal a partition
+  ScheduleNextArrival(i);
+}
+
+void NetworkSimulator::ReadmitRevived(std::size_t i) {
+  // The revived node rejoins as a member of its nearest live head; a
+  // former head gets its next shot at the following round election.
+  // Linear scan over the (small) head list; strict < keeps the lowest
+  // head index among equals, matching AssignToNearestHead's tie-break.
+  std::size_t best = ClusterAssignment::kUnclustered;
+  double best2 = std::numeric_limits<double>::infinity();
+  for (std::size_t h : cluster_.heads) {
+    if (!alive_[h]) continue;
+    const double d2 = node::Distance2(config_.positions[i],
+                                      config_.positions[h]);
+    if (d2 < best2) {
+      best2 = d2;
+      best = h;
+    }
+  }
+  if (best == ClusterAssignment::kUnclustered) {
+    if (i < cluster_.head_of.size()) {
+      cluster_.head_of[i] = ClusterAssignment::kUnclustered;
+    }
+    cluster_next_[i] = RoutingTable::kNoRoute;
+    cluster_dist_[i] = 0.0;
+    ++cluster_unrouted_;
+    return;
+  }
+  if (i < cluster_.head_of.size()) cluster_.head_of[i] = best;
+  if (cluster_.members.size() == cluster_.heads.size()) {
+    for (std::size_t slot = 0; slot < cluster_.heads.size(); ++slot) {
+      if (cluster_.heads[slot] == best) {
+        // A stale duplicate from an earlier crash is benign: member
+        // lists are stale-tolerant (RepairInPlace filters by alive and
+        // head_of), exactly like rows orphaned by past repairs.
+        cluster_.members[slot].push_back(static_cast<std::uint32_t>(i));
+        break;
+      }
+    }
+  }
+  cluster_next_[i] = best;
+  cluster_dist_[i] =
+      node::Distance(config_.positions[i], config_.positions[best]);
+}
+
+bool NetworkSimulator::AttemptLost(std::size_t i) {
+  if (faults_ == nullptr) return mac_.AttemptLost(rng_);
+  const double extra = faults_->JamExtraLoss(config_.positions[i], sim_.Now());
+  // No active jam over the sender: exactly the MAC's own draw (same
+  // single uniform, same comparison), so jam-free stretches of a faulty
+  // run replay the fault-free arithmetic.
+  if (extra <= 0.0) return mac_.AttemptLost(rng_);
+  const double p =
+      1.0 - (1.0 - mac_.Config().p_loss) * (1.0 - extra);
+  return util::UniformDouble(rng_) < p;
+}
+
 void NetworkSimulator::CheckPartition() {
-  if (partition_s_ != std::numeric_limits<double>::infinity()) return;
+  const bool latched = partition_s_ != std::numeric_limits<double>::infinity();
+  // Once partitioned, fault-free runs are done here forever (nothing can
+  // heal them), keeping the post-latch check O(1); with faults the
+  // detector keeps watching until the first heal is recorded.
+  if (latched &&
+      (faults_ == nullptr ||
+       heal_s_ != std::numeric_limits<double>::infinity())) {
+    return;
+  }
   bool partitioned = false;
   if (Clustered()) {
     // RebuildClusterRoutes runs after every head death, so alive rows
@@ -531,9 +761,13 @@ void NetworkSimulator::CheckPartition() {
       }
     }
   }
-  if (partitioned) {
-    partition_s_ = sim_.Now();
-    if (config_.stop_at_partition) Stop();
+  if (!latched) {
+    if (partitioned) {
+      partition_s_ = sim_.Now();
+      if (config_.stop_at_partition) Stop();
+    }
+  } else if (!partitioned) {
+    heal_s_ = sim_.Now();  // every alive node routes again: the cut healed
   }
 }
 
@@ -595,6 +829,14 @@ void NetworkSimulator::CollectMetrics(NetSimReport& report) {
     if (!alive_[i]) ++deaths;
   }
   *reg.Counter("netsim.deaths") += deaths;
+  if (faults_ != nullptr) {
+    // Fault counters only exist in fault-enabled runs, so the metric
+    // catalogue of every fault-free run is unchanged.
+    *reg.Counter("netsim.faults.crashes") += crashes_;
+    *reg.Counter("netsim.faults.recoveries") += recoveries_;
+    *reg.Counter("netsim.faults.jam_windows") += faults_->JamWindows();
+    *reg.Counter("netsim.faults.sink_outages") += faults_->SinkOutages();
+  }
   *reg.Counter("netsim.routing.repairs") += repair_sw_.calls;
   *reg.Counter("netsim.cluster.rounds") += rounds_;
   *reg.Counter("netsim.cluster.elections") += elections_;

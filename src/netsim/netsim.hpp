@@ -56,6 +56,7 @@
 #include "des/workload.hpp"
 #include "energy/battery.hpp"
 #include "netsim/cluster.hpp"
+#include "netsim/fault.hpp"
 #include "netsim/mac.hpp"
 #include "netsim/packet.hpp"
 #include "netsim/routing.hpp"
@@ -112,6 +113,12 @@ struct NetSimConfig {
 
   /// Cluster-based collection; disabled by default (flat greedy routing).
   ClusterConfig cluster;
+
+  /// Fault injection (transient node crashes with recovery, jam windows,
+  /// sink outages); disabled by default.  When disabled the simulator
+  /// builds no fault machinery and makes zero extra RNG draws, so every
+  /// fault-free output stays bit-identical to the pre-fault engine.
+  FaultConfig faults;
 
   /// Batch transmissions that complete at the same LPL wake slot into a
   /// single kernel event walking a wakeup list (instead of N same-
@@ -190,6 +197,13 @@ struct NetSimReport {
   std::size_t first_dead_node = static_cast<std::size_t>(-1);
   /// First instant an alive node lost its route; +infinity if never.
   double partition_s = std::numeric_limits<double>::infinity();
+  /// First instant after `partition_s` at which every alive node had a
+  /// route again — the partition healed (a revived node restored
+  /// connectivity).  +infinity when no partition occurred or it never
+  /// healed; only ever finite with fault injection enabled (nothing
+  /// heals a fault-free run, and the detector is compiled out of the
+  /// fault-free partition check to keep it O(1) after the latch).
+  double heal_s = std::numeric_limits<double>::infinity();
   double end_s = 0.0;        ///< horizon or early-stop instant
   std::uint64_t events = 0;  ///< DES events fired
   /// Death-triggered route updates performed (flat repairs/recomputes
@@ -213,6 +227,26 @@ struct NetSimReport {
   /// election_s — the cost the grid-accelerated head assignment
   /// attacks).
   double assign_s = 0.0;
+
+  /// Fault-injection outcome (all 0 / +infinity without faults).
+  std::uint64_t crashes = 0;     ///< transient crashes applied
+  std::uint64_t recoveries = 0;  ///< crash recoveries applied
+  std::uint64_t jam_windows = 0;          ///< jam windows in the plan
+  std::uint64_t sink_outage_windows = 0;  ///< sink outages in the plan
+
+  /// Application samples still buffered somewhere at the end of the run
+  /// (MAC queues plus cluster-head aggregation buffers) — the "in
+  /// flight at horizon" term of the packet-conservation invariant.
+  std::uint64_t in_flight = 0;
+
+  /// Packet-conservation invariant: every generated sample is delivered,
+  /// dropped for a counted cause, or still in flight at the end.  Any
+  /// violation is a silent-loss bug; tests assert this on every run and
+  /// the netsim-faults chaos harness hard-fails on it.
+  bool Conserved() const noexcept {
+    return packets.generated ==
+           packets.delivered + packets.TotalDropped() + in_flight;
+  }
 
   /// Metrics snapshot of this replication (empty unless
   /// NetSimConfig::obs.metrics; see docs/observability.md for the metric
@@ -260,7 +294,33 @@ class NetworkSimulator {
   void DrainDiscrete(std::size_t i, double joules);
   void RescheduleDeath(std::size_t i);
   void OnDeath(std::size_t i);
+  /// Death-triggered routing/cluster update + partition check, shared by
+  /// battery deaths and fault crashes (the repair is identical — only
+  /// the death bookkeeping differs).
+  void RepairAfterLoss(std::size_t i);
   void CheckPartition();
+
+  // Fault-injection machinery (inert when config_.faults is disabled:
+  // faults_ stays null and none of these run).
+  void OnFaultEvent(std::size_t k);
+  /// Transient crash: the node goes silent — queue flushed, traffic and
+  /// death timer cancelled, alive mask cleared — but its battery is
+  /// untouched (a crash is not a battery death; no baseline drains
+  /// during the outage).
+  void OnCrash(std::size_t i);
+  /// Recovery: the node rejoins with its remaining charge; routes are
+  /// re-offered (RoutingTable::RepairAfterRecovery in incremental mode,
+  /// the full recomputes as oracles), clusters re-admit it, traffic and
+  /// the death timer restart, and a healed partition is detected.
+  void OnRecover(std::size_t i);
+  /// Clustered-mode re-admission of a revived node: it rejoins as a
+  /// member of the nearest live head (a former head gets its next shot
+  /// at the following round election).
+  void ReadmitRevived(std::size_t i);
+  /// Per-attempt loss draw for sender i: the MAC's base p_loss combined
+  /// (as independent events) with any active jam window covering the
+  /// sender.  Without faults this is exactly mac_.AttemptLost.
+  bool AttemptLost(std::size_t i);
   void DropPacket(std::size_t holder, DropReason reason,
                   std::uint32_t payloads = 1);
   void TimelineTick();
@@ -311,8 +371,27 @@ class NetworkSimulator {
   PacketQueues queues_;             ///< pooled per-node packet FIFOs
   std::vector<std::uint32_t> agg_payloads_;  ///< head aggregation buffers
   std::vector<des::EventId> death_event_;    ///< pending death events
+  /// Pending traffic-arrival events, one per node (0 = none).  The id is
+  /// recorded so a crash can cancel the node's arrival chain and a
+  /// recovery can restart it without ever double-scheduling; in
+  /// fault-free runs the bookkeeping is written but never read.
+  std::vector<des::EventId> arrival_event_;
   std::vector<std::unique_ptr<des::Workload>> traffic_;
   std::vector<NodeSimStats> stats_;
+
+  // Fault-injection state (vectors stay empty-initialized-cheap; only
+  // written by the crash/recover paths).
+  std::unique_ptr<FaultEngine> faults_;  ///< null when faults disabled
+  std::vector<std::uint8_t> down_;       ///< 1 while fault-crashed
+  /// 1 when a crash interrupted an in-flight TX: the stale FinishTx
+  /// event still fires and must be swallowed (it completed no
+  /// transmission) instead of popping a packet the crash already
+  /// flushed.
+  std::vector<std::uint8_t> tx_void_;
+  std::vector<double> down_since_;  ///< crash instant (outage histogram)
+  std::uint64_t crashes_ = 0;       ///< crashes applied
+  std::uint64_t recoveries_ = 0;    ///< recoveries applied
+  double heal_s_ = std::numeric_limits<double>::infinity();
 
   // Batched LPL wakeups: lists of nodes whose TX completes at the same
   // wake-slot timestamp, one kernel event per distinct timestamp.  List
@@ -351,6 +430,9 @@ class NetworkSimulator {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceSink> trace_;
   util::Histogram* repair_hist_ = nullptr;  ///< owned by *metrics_
+  /// Observed outage durations (recover - crash); owned by *metrics_,
+  /// only created when both metrics and faults are enabled.
+  util::Histogram* outage_hist_ = nullptr;
 
   // Clustered-mode state.
   std::unique_ptr<ClusteringProtocol> protocol_;  ///< null in flat mode

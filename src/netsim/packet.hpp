@@ -138,6 +138,19 @@ class PacketQueues {
     --count_[i];
   }
 
+  /// Sum of the payloads queued at node i — the node's contribution to
+  /// the end-of-run "in flight" term of the packet-conservation
+  /// invariant (generated == delivered + dropped + in flight).  Walks
+  /// the chain; called once per node at report time, never on the hot
+  /// path.
+  std::uint64_t PayloadSum(std::size_t i) const noexcept {
+    std::uint64_t sum = 0;
+    for (std::uint32_t s = head_[i]; s != kNil; s = slots_[s].next) {
+      sum += slots_[s].pkt.payload;
+    }
+    return sum;
+  }
+
   /// Slab capacity: the peak simultaneously queued packet count so far.
   std::size_t Slots() const noexcept { return slots_.size(); }
 

@@ -40,13 +40,22 @@ RoutingTable::RoutingTable(std::vector<node::Position> sinks, double max_hop_m,
   const double hop2 = max_hop_m_ * max_hop_m_;
 
   // Nearest-sink distances: compare in distance^2, one sqrt per node.
+  // The argmin sink index rides along (strict < keeps the lowest index
+  // among equals) for per-sender sink-outage queries.
   to_sink_.resize(n);
+  nearest_sink_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double best2 = std::numeric_limits<double>::infinity();
-    for (const node::Position& sink : sinks_) {
-      best2 = std::min(best2, node::Distance2(positions_[i], sink));
+    std::uint32_t best_sink = 0;
+    for (std::size_t s = 0; s < sinks_.size(); ++s) {
+      const double d2 = node::Distance2(positions_[i], sinks_[s]);
+      if (d2 < best2) {
+        best2 = d2;
+        best_sink = static_cast<std::uint32_t>(s);
+      }
     }
     to_sink_[i] = std::sqrt(best2);
+    nearest_sink_[i] = best_sink;
   }
 
   // Per-node in-range neighbour lists, gathered from the 3x3 grid block
@@ -204,6 +213,45 @@ void RoutingTable::RepairAfterDeath(std::size_t dead,
       // anyone else's: the worklist drains after the direct
       // predecessors of each dead node.
     }
+  }
+}
+
+void RoutingTable::RepairAfterRecovery(std::size_t revived,
+                                       const std::vector<bool>& alive) {
+  const std::size_t n = positions_.size();
+  Require(alive.size() == n, "alive mask size mismatch");
+  Require(revived < n, "revived node index out of range");
+  Require(alive[revived], "RepairAfterRecovery: node is not alive");
+
+  // The revived node re-enters the alive set with a fresh greedy choice.
+  Choose(revived, alive);
+  if (next_[revived] == kNoRoute) ++unrouted_alive_;
+
+  // Re-offer it to its neighbours.  A full Recompute would switch
+  // neighbour j to the revived node exactly when it is strictly closer
+  // to the sink than j's current best, or equally close with a lower
+  // index (Choose's ascending-index scan keeps the first of equals);
+  // no other node's candidate set changed, so nothing else can move.
+  const double cand = to_sink_[revived];
+  for (std::uint32_t k = nbr_start_[revived]; k < nbr_start_[revived + 1];
+       ++k) {
+    const std::uint32_t j = nbr_[k];
+    if (!alive[j] || next_[j] == kSink) continue;
+    bool better;
+    if (next_[j] == kNoRoute) {
+      // Choose starts from j's own distance: a relay must strictly beat
+      // it.
+      better = cand < to_sink_[j];
+    } else {
+      const double cur = to_sink_[next_[j]];
+      better = cand < cur || (cand == cur && revived < next_[j]);
+    }
+    if (!better) continue;
+    // A formerly-unrouted alive neighbour gains a route; routed ones
+    // just improve, leaving the counter alone.
+    if (next_[j] == kNoRoute) --unrouted_alive_;
+    next_[j] = revived;
+    hop_distance_[j] = std::sqrt(nbr_d2_[k]);
   }
 }
 

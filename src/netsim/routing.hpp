@@ -89,6 +89,18 @@ class RoutingTable {
   /// table this is equivalent to Recompute(alive).
   void RepairAfterDeath(std::size_t dead, const std::vector<bool>& alive);
 
+  /// Incremental *insertion* after node `revived` rejoins (already true
+  /// in `alive`) — the dual of RepairAfterDeath: re-chooses the revived
+  /// node's own hop and re-offers it as a next hop to every alive node
+  /// in its (symmetric) neighbour list.  A neighbour's greedy best can
+  /// only improve, and only via the revived node itself, so unlike a
+  /// death the insertion never cascades.  Starting from a table
+  /// consistent with `alive` minus the revived node, this is equivalent
+  /// to Recompute(alive) — the grid-full recompute stays the pinned
+  /// oracle (tests/test_netsim_fault.cpp).
+  void RepairAfterRecovery(std::size_t revived,
+                           const std::vector<bool>& alive);
+
   /// kSink, kNoRoute, or the relay index for node i.
   std::size_t NextHop(std::size_t i) const { return next_[i]; }
 
@@ -102,6 +114,13 @@ class RoutingTable {
 
   /// Distance (m) from node i to its nearest sink.
   double DistanceToSink(std::size_t i) const { return to_sink_[i]; }
+
+  /// Index (into Sinks()) of node i's nearest sink — the one its greedy
+  /// route converges on; ties break to the lowest sink index.  Lets the
+  /// fault engine answer "is my sink down?" per sender.
+  std::size_t NearestSinkIndex(std::size_t i) const {
+    return nearest_sink_[i];
+  }
 
   /// Number of alive nodes whose next hop is kNoRoute, maintained
   /// incrementally across construction, recomputes and repairs.  For a
@@ -135,6 +154,7 @@ class RoutingTable {
   std::vector<node::Position> positions_;
   SpatialGrid grid_;
   std::vector<double> to_sink_;
+  std::vector<std::uint32_t> nearest_sink_;  ///< argmin index behind to_sink_
   std::vector<std::size_t> next_;
   std::vector<double> hop_distance_;
   /// CSR neighbour lists: node i's in-range neighbours are

@@ -99,6 +99,8 @@ TEST(NetSim, DeterministicForFixedSeedAndReplication) {
   EXPECT_EQ(ra.packets.delivered, rb.packets.delivered);
   EXPECT_EQ(ra.events, rb.events);
   EXPECT_EQ(ra.first_death_s, rb.first_death_s);
+  EXPECT_TRUE(ra.Conserved()) << "generated " << ra.packets.generated
+                              << " != delivered + dropped + in flight";
   ASSERT_EQ(ra.nodes.size(), rb.nodes.size());
   for (std::size_t i = 0; i < ra.nodes.size(); ++i) {
     EXPECT_DOUBLE_EQ(ra.nodes[i].remaining_j, rb.nodes[i].remaining_j);
@@ -189,6 +191,7 @@ TEST(NetSim, DeathTriggersRerouteAndDeliveryContinuesUntilPartition) {
       << "fallback relay B must keep the source connected after A dies";
   EXPECT_GT(report.DeliveryRatio(), 0.0);
   EXPECT_EQ(report.end_s, report.partition_s);
+  EXPECT_TRUE(report.Conserved());
 
   NetSimConfig static_cfg = cfg;
   static_cfg.rerouting = false;
@@ -275,6 +278,8 @@ TEST(NetSim, LossyLinksPayRetransmissionEnergy) {
   EXPECT_GT(noisy.packets.retransmissions, 0u);
   // Retransmissions burn extra energy at the bottleneck relay.
   EXPECT_LT(noisy.nodes[0].remaining_j, clean.nodes[0].remaining_j);
+  EXPECT_TRUE(clean.Conserved());
+  EXPECT_TRUE(noisy.Conserved());
 }
 
 TEST(NetSim, ConfigValidation) {
