@@ -8,6 +8,7 @@
 
 #include "obs/session.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -123,13 +124,52 @@ int RunOne(const Scenario& scenario, const util::CliArgs& args,
   return 0;
 }
 
+/// Run a declarative spec file (`wsnctl run --file exp.json`) with the
+/// same global-flag surface, executor and observability session a
+/// registered scenario gets — the spec interpreter and the registry
+/// wrappers share the study runners, so a preset file's output is
+/// byte-identical to its compiled-in twin.
+int RunSpecFile(const std::string& path, const util::CliArgs& args) {
+  if (args.Positional().size() > 1) {
+    throw util::InvalidArgument(
+        "unexpected argument '" + args.Positional()[1] +
+        "' (flags are written --name=value; run with --help)");
+  }
+  std::vector<util::FlagSpec> flags = GlobalFlags();
+  flags.push_back({"file", "PATH", "", "declarative scenario spec to run"});
+  util::RequireKnownFlags(args, flags);
+  util::SetLogLevel(util::ParseLogLevel(args.GetString("log-level", "warn")));
+  const OutputFormat format =
+      ParseOutputFormat(args.GetString("format", "table"));
+  const ScenarioSpec spec = LoadScenarioSpecFile(path);
+  util::ParallelExecutor executor(args.GetCount("threads", 0));
+  obs::Session obs_session(ObsOptionsFromArgs(args));
+
+  ScenarioContext ctx;
+  ctx.args = &args;
+  ctx.executor = &executor;
+  ctx.obs = obs_session.Enabled() ? &obs_session : nullptr;
+  const ResultSet results = RunSpec(ctx, spec);
+  if (obs_session.MetricsEnabled() && obs_session.Merged().Empty()) {
+    (util::LogWarn() << "spec contributed no metrics; the --metrics "
+                        "file will hold empty sections")
+        .Kv("file", path);
+  }
+  obs_session.WriteFiles();
+  std::cout << results.Render(format);
+  return 0;
+}
+
 int ListScenarios() {
   util::TextTable table({"name", "artifact", "summary"});
   for (const Scenario* s : ScenarioRegistry::Instance().All()) {
     table.AddRow({s->Name(), s->Artifact(), s->Summary()});
   }
   std::cout << table.Render();
-  std::cout << "\nrun one with: wsnctl run <name> [--help]\n";
+  std::cout << "\nrun one with: wsnctl run <name> [--help]\n"
+               "or run a declarative spec with: wsnctl run --file "
+               "presets/<name>.json\n   (committed presets mirror the "
+               "registered scenarios byte for byte; see docs/scenarios.md)\n";
   return 0;
 }
 
@@ -146,7 +186,8 @@ int Usage(std::ostream& os, int code) {
   os << "usage:\n"
         "  wsnctl list                    show registered scenarios\n"
         "  wsnctl help <scenario>         show a scenario's flags\n"
-        "  wsnctl run <scenario> [flags]  run and print results\n";
+        "  wsnctl run <scenario> [flags]  run and print results\n"
+        "  wsnctl run --file <spec.json>  run a declarative scenario spec\n";
   return code;
 }
 
@@ -175,6 +216,13 @@ int WsnctlMain(int argc, const char* const* argv) {
       return 0;
     }
     if (command == "run") {
+      const std::string file = args.GetString("file", "");
+      if (!file.empty() && positional.size() >= 2) {
+        throw util::InvalidArgument(
+            "wsnctl run: pass either a scenario name or --file=<spec.json>, "
+            "not both");
+      }
+      if (!file.empty()) return RunSpecFile(file, args);
       if (positional.size() < 2) return Usage(std::cerr, 2);
       const Scenario* s = FindOrComplain(positional[1]);
       if (s == nullptr) return 2;

@@ -3,92 +3,49 @@
 // node-class (SEP-style) deployment with its analytic cross-check, and
 // the policy ablation (flat vs static clusters vs rotating clusters)
 // where network lifetime depends on protocol choice, not just energy
-// bookkeeping.
-#include <cmath>
-#include <cstdint>
-#include <limits>
+// bookkeeping.  The clustered and heterogeneous studies are thin
+// flag-parsing wrappers over scenario/studies.{hpp,cpp}, shared with
+// the declarative spec interpreter.
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/models.hpp"
 #include "netsim/replication.hpp"
 #include "scenario/common.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/studies.hpp"
 #include "util/error.hpp"
-#include "util/statistics.hpp"
 #include "util/table.hpp"
-#include "wsn/network.hpp"
 
 namespace wsn::scenario {
 namespace {
 
-// Shared topology/effort knobs for the clustered studies: a node grid
-// reporting toward corner sinks with small batteries so every run shows
-// the full lifetime arc within a short horizon.
-netsim::NetSimConfig GridConfig(const util::CliArgs& args,
-                                std::size_t default_cols,
-                                std::size_t default_rows) {
-  netsim::NetSimConfig cfg;
-  cfg.network.node.cpu.arrival_rate = args.GetDouble("rate", 2.0);
-  cfg.network.node.cpu.service_rate =
-      10.0 * cfg.network.node.cpu.arrival_rate;
-  cfg.network.node.cpu_power = energy::Msp430();
-  cfg.network.node.sample_bits = 1024;
-  cfg.network.node.listen_duty_cycle = 0.01;
-  cfg.network.node.battery_mah = args.GetDouble("battery-mah", 0.05);
-  cfg.network.sink = {0.0, 0.0};
-  cfg.network.max_hop_m = args.GetDouble("hop", 40.0);
-  const std::size_t cols = args.GetCount("cols", default_cols, 1);
-  const std::size_t rows = args.GetCount("rows", default_rows, 1);
-  const double spacing = args.GetDouble("spacing", 15.0);
-  cfg.positions = node::MakeGrid(cols, rows, spacing);
-  cfg.horizon_s = args.GetDouble("horizon", 2000.0);
-
-  // Optional extra sinks at the deployment corners (the default single
-  // sink sits at the origin corner).
-  const std::size_t sink_count = args.GetCount("sinks", 1, 1);
-  util::Require(sink_count <= 4, "flag --sinks must be in 1..4");
-  const double x_max = (static_cast<double>(cols) + 1.0) * spacing;
-  const double y_max = (static_cast<double>(rows) + 1.0) * spacing;
-  if (sink_count >= 2) cfg.sinks = {{0.0, 0.0}, {x_max, y_max}};
-  if (sink_count >= 3) cfg.sinks.push_back({x_max, 0.0});
-  if (sink_count >= 4) cfg.sinks.push_back({0.0, y_max});
-  return cfg;
+GridStudyParams GridParamsFromArgs(const util::CliArgs& args,
+                                   std::size_t default_cols,
+                                   std::size_t default_rows) {
+  GridStudyParams p;
+  p.cols = args.GetCount("cols", default_cols, 1);
+  p.rows = args.GetCount("rows", default_rows, 1);
+  p.spacing_m = args.GetDouble("spacing", 15.0);
+  p.hop_m = args.GetDouble("hop", 40.0);
+  p.rate_hz = args.GetDouble("rate", 2.0);
+  p.battery_mah = args.GetDouble("battery-mah", 0.05);
+  p.horizon_s = args.GetDouble("horizon", 2000.0);
+  p.sinks = args.GetCount("sinks", 1, 1);
+  util::Require(p.sinks <= 4, "flag --sinks must be in 1..4");
+  return p;
 }
 
-void ApplyClusterFlags(netsim::NetSimConfig& cfg, const util::CliArgs& args) {
-  cfg.cluster.protocol = netsim::ParseClusterProtocolKind(
+ClusterKnobs ClusterKnobsFromArgs(const util::CliArgs& args) {
+  ClusterKnobs knobs;
+  knobs.protocol = netsim::ParseClusterProtocolKind(
       args.GetString("protocol", "leach"));
-  cfg.cluster.head_fraction = args.GetDouble("head-fraction", 0.1);
-  cfg.cluster.static_heads = args.GetCount("static-heads", 0);
-  cfg.cluster.round_s = args.GetDouble("round", 25.0);
-  cfg.cluster.aggregation = args.GetCount("aggregation", 4, 1);
-}
-
-/// Mean of a per-report extractor over all replications.
-template <typename Fn>
-double MeanOverReports(const netsim::ReplicationSummary& summary, Fn&& fn) {
-  util::RunningStats stats;
-  for (const netsim::NetSimReport& report : summary.reports) {
-    stats.Add(fn(report));
-  }
-  return stats.Mean();
-}
-
-void AddLifetimeRows(ResultTable& table, const std::string& label,
-                     const netsim::ReplicationSummary& summary) {
-  table.AddRow({label, "time to first death (s)",
-                MetricCell(summary.first_death_s, 1),
-                ObservedCell(summary.first_death_s.observed,
-                             summary.replications)});
-  table.AddRow({label, "time to partition (s)",
-                MetricCell(summary.partition_s, 1),
-                ObservedCell(summary.partition_s.observed,
-                             summary.replications)});
-  table.AddRow({label, "delivery ratio", MetricCell(summary.delivery_ratio, 4),
-                ObservedCell(summary.replications, summary.replications)});
-  table.AddRow({label, "samples delivered", MetricCell(summary.delivered, 1),
-                ObservedCell(summary.replications, summary.replications)});
+  knobs.head_fraction = args.GetDouble("head-fraction", 0.1);
+  knobs.static_heads = args.GetCount("static-heads", 0);
+  knobs.round_s = args.GetDouble("round", 25.0);
+  knobs.aggregation = args.GetCount("aggregation", 4, 1);
+  return knobs;
 }
 
 std::vector<util::FlagSpec> GridFlags(const std::string& cols,
@@ -122,97 +79,13 @@ std::vector<util::FlagSpec> ClusterFlags() {
 // node grid — head rotation, in-cluster aggregation, multi-sink uplink.
 ResultSet RunNetsimClustered(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
-  netsim::NetSimConfig cfg = GridConfig(args, 6, 6);
-  ApplyClusterFlags(cfg, args);
-
-  netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
-  rep.keep_reports = true;  // the rotation/head tables read the reports
-  ApplyObs(ctx, cfg);
-  const core::MarkovCpuModel model;
-  const netsim::ReplicationSummary summary =
-      RunReplications(cfg, model, rep, ctx.Executor());
-  ContributeObs(ctx, summary);
-
-  ResultSet results(
-      "clustered collection: rotating heads, aggregation, multi-sink");
-  results.SetMeta("nodes", std::to_string(cfg.positions.size()));
-  results.SetMeta("sinks",
-                  std::to_string(netsim::EffectiveSinks(cfg).size()));
-  results.SetMeta("protocol",
-                  netsim::ClusterProtocolKindName(cfg.cluster.protocol));
-  results.SetMeta("round", util::FormatFixed(cfg.cluster.round_s, 0) + " s");
-  results.SetMeta("aggregation", std::to_string(cfg.cluster.aggregation));
-  results.SetMeta("replications", std::to_string(rep.replications));
-  results.SetMeta("seed", std::to_string(rep.seed));
-
-  ResultTable& lifetimes = results.AddTable(
-      "summary", {"protocol", "metric", "mean +- 95% CI", "observed in"});
-  AddLifetimeRows(lifetimes,
-                  netsim::ClusterProtocolKindName(cfg.cluster.protocol),
-                  summary);
-  ResultTable& rotation = results.AddTable(
-      "rotation", {"metric", "mean over replications"});
-  rotation.AddRow({"cluster rounds",
-                   util::FormatFixed(
-                       MeanOverReports(summary,
-                                       [](const netsim::NetSimReport& r) {
-                                         return static_cast<double>(r.rounds);
-                                       }),
-                       2)});
-  rotation.AddRow(
-      {"elections (rounds + repairs)",
-       util::FormatFixed(
-           MeanOverReports(summary,
-                           [](const netsim::NetSimReport& r) {
-                             return static_cast<double>(r.elections);
-                           }),
-           2)});
-  rotation.AddRow(
-      {"distinct nodes elected head",
-       util::FormatFixed(
-           MeanOverReports(
-               summary,
-               [](const netsim::NetSimReport& r) {
-                 std::size_t distinct = 0;
-                 for (const netsim::NodeSimStats& n : r.nodes) {
-                   if (n.head_elections > 0) ++distinct;
-                 }
-                 return static_cast<double>(distinct);
-               }),
-           2)});
-
-  // Zoom into replication 0: who served as head and what it cost them.
-  const netsim::NetSimReport& rep0 = summary.reports.front();
-  ResultTable& heads = results.AddTable(
-      "replication-0-heads",
-      {"node", "head elections", "samples aggregated", "energy (J)",
-       "death (s)"});
-  std::size_t shown = 0;
-  for (std::size_t i = 0; i < rep0.nodes.size() && shown < 10; ++i) {
-    const netsim::NodeSimStats& n = rep0.nodes[i];
-    if (n.head_elections == 0) continue;
-    ++shown;
-    heads.AddRow({std::to_string(i), std::to_string(n.head_elections),
-                  std::to_string(n.aggregated),
-                  util::FormatFixed(n.energy_used_j, 3),
-                  std::isfinite(n.death_s) ? util::FormatFixed(n.death_s, 1)
-                                           : std::string("alive")});
-  }
-
-  ResultTable& drops =
-      results.AddTable("replication-0-drops", {"drop reason", "samples"});
-  for (std::size_t r = 0; r < netsim::kDropReasonCount; ++r) {
-    const auto reason = static_cast<netsim::DropReason>(r);
-    drops.AddRow({netsim::DropReasonName(reason),
-                  std::to_string(rep0.packets.Dropped(reason))});
-  }
-  results.AddNote("replication 0: generated " +
-                  std::to_string(rep0.packets.generated) + ", delivered " +
-                  std::to_string(rep0.packets.delivered) + " samples over " +
-                  std::to_string(rep0.rounds) + " rounds (" +
-                  std::to_string(rep0.elections) + " elections), " +
-                  std::to_string(rep0.events) + " events");
-  return results;
+  ClusteredStudyParams p;
+  p.grid = GridParamsFromArgs(args, 6, 6);
+  p.cluster = ClusterKnobsFromArgs(args);
+  const netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
+  p.replications = rep.replications;
+  p.seed = rep.seed;
+  return RunClusteredStudy(ctx, p);
 }
 
 // ------------------------------------------------------------------------
@@ -223,137 +96,15 @@ ResultSet RunNetsimClustered(const ScenarioContext& ctx) {
 // the simulated time to first death.
 ResultSet RunNetsimHeterogeneous(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
-  const double advanced_fraction = args.GetDouble("advanced-fraction", 0.2);
-  const double battery_factor = args.GetDouble("battery-factor", 3.0);
-  util::Require(advanced_fraction >= 0.0 && advanced_fraction <= 1.0,
-                "advanced fraction must be in [0, 1]");
-  util::Require(battery_factor > 0.0, "battery factor must be positive");
-
-  netsim::NetSimConfig cfg = GridConfig(args, 6, 4);
-  cfg.rerouting = false;
-  cfg.stop_at_first_death = true;
-
-  // Named hardware profiles: "advanced" nodes carry battery_factor times
-  // the standard battery.
-  netsim::NodeClass standard;
-  standard.name = "standard";
-  standard.battery_mah = cfg.network.node.battery_mah;
-  standard.battery_volts = cfg.network.node.battery_volts;
-  standard.radio = cfg.network.node.radio;
-  standard.listen_duty_cycle = cfg.network.node.listen_duty_cycle;
-  netsim::NodeClass advanced = standard;
-  advanced.name = "advanced";
-  advanced.battery_mah = standard.battery_mah * battery_factor;
-
-  cfg.classes = {standard, advanced};
-  const std::size_t n = cfg.positions.size();
-  const std::size_t advanced_count = static_cast<std::size_t>(
-      std::lround(advanced_fraction * static_cast<double>(n)));
-  cfg.node_class.assign(n, "standard");
-
-  const core::MarkovCpuModel model;
-  const node::Network analytic_net(cfg.network, cfg.positions);
-  const node::NetworkReport analytic_homo = analytic_net.Evaluate(model);
-
-  const std::string placement = args.GetString("placement", "hotspot");
-  if (advanced_count > 0 && placement == "hotspot") {
-    // Give the big batteries to the nodes the analytic estimator says
-    // carry the most relay traffic — the hot path near the sink.  This
-    // is where per-node hardware actually moves the first-death time.
-    std::vector<std::size_t> order(n);
-    for (std::size_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const double la = analytic_homo.nodes[a].relay_packets_per_second;
-      const double lb = analytic_homo.nodes[b].relay_packets_per_second;
-      if (la != lb) return la > lb;
-      return a < b;
-    });
-    for (std::size_t j = 0; j < advanced_count; ++j) {
-      cfg.node_class[order[j]] = "advanced";
-    }
-  } else if (advanced_count > 0 && placement == "spread") {
-    // Evenly strided across the index order, blind to load.
-    for (std::size_t j = 0; j < advanced_count; ++j) {
-      const std::size_t pick = (j * n + n / 2) / advanced_count;
-      cfg.node_class[std::min(pick, n - 1)] = "advanced";
-    }
-  } else {
-    util::Require(placement == "hotspot" || placement == "spread",
-                  "placement must be hotspot or spread");
-  }
-
-  netsim::NetSimConfig homogeneous = cfg;
-  homogeneous.classes.clear();
-  homogeneous.node_class.clear();
-
+  HeterogeneousStudyParams p;
+  p.grid = GridParamsFromArgs(args, 6, 4);
+  p.advanced_fraction = args.GetDouble("advanced-fraction", 0.2);
+  p.battery_factor = args.GetDouble("battery-factor", 3.0);
+  p.placement = args.GetString("placement", "hotspot");
   const netsim::ReplicationConfig rep = NetsimRepConfig(args, 16);
-  ApplyObs(ctx, cfg);
-  ApplyObs(ctx, homogeneous);
-  const netsim::ReplicationSummary hetero =
-      RunReplications(cfg, model, rep, ctx.Executor());
-  const netsim::ReplicationSummary homo =
-      RunReplications(homogeneous, model, rep, ctx.Executor());
-  ContributeObs(ctx, hetero);
-  ContributeObs(ctx, homo);
-
-  // Analytic cross-check on the identical topology and per-node hardware.
-  const node::NetworkReport analytic_hetero =
-      analytic_net.Evaluate(model, netsim::PerNodeConfigs(cfg));
-
-  ResultSet results(
-      "heterogeneous node classes: mixed batteries vs the analytic "
-      "estimator");
-  results.SetMeta("nodes", std::to_string(n));
-  results.SetMeta("advanced nodes", std::to_string(advanced_count));
-  results.SetMeta("placement", placement);
-  results.SetMeta("battery factor", util::FormatFixed(battery_factor, 2));
-  results.SetMeta("replications", std::to_string(rep.replications));
-  results.SetMeta("seed", std::to_string(rep.seed));
-
-  ResultTable& table = results.AddTable(
-      "first-death",
-      {"deployment", "simulated first death (s)", "analytic first death (s)",
-       "relative error"});
-  const auto row = [&](const std::string& label,
-                       const netsim::ReplicationSummary& summary,
-                       const node::NetworkReport& analytic) {
-    // No observed death before the horizon means there is nothing to
-    // compare against the analytic lifetime.
-    std::string error_cell = "n/a";
-    if (summary.first_death_s.observed > 0) {
-      const double mean = summary.first_death_s.ci.mean;
-      const double rel = std::abs(mean - analytic.network_lifetime_seconds) /
-                         analytic.network_lifetime_seconds;
-      error_cell = util::FormatFixed(100.0 * rel, 2) + " %";
-    }
-    table.AddRow({label, MetricCell(summary.first_death_s, 1),
-                  util::FormatFixed(analytic.network_lifetime_seconds, 1),
-                  error_cell});
-  };
-  row("homogeneous (all standard)", homo, analytic_homo);
-  row("heterogeneous (" + std::to_string(advanced_count) + " advanced)",
-      hetero, analytic_hetero);
-
-  ResultTable& verdict = results.AddTable(
-      "lifetime-gain", {"metric", "value"});
-  const bool both_died = hetero.first_death_s.observed > 0 &&
-                         homo.first_death_s.observed > 0;
-  verdict.AddRow(
-      {"first-death gain (hetero / homo)",
-       both_died ? util::FormatFixed(hetero.first_death_s.ci.mean /
-                                         homo.first_death_s.ci.mean,
-                                     3)
-                 : std::string("n/a")});
-  verdict.AddRow({"analytic bottleneck node (hetero)",
-                  std::to_string(analytic_hetero.bottleneck_node)});
-  results.AddNote(
-      "rerouting is disabled and traffic is steady Poisson, so the "
-      "simulated first death is directly comparable to the analytic "
-      "per-node estimate — the heterogeneous counterpart of the "
-      "test_netsim convergence anchor (the first death is a minimum over "
-      "nodes, so with several near-tied lifetimes the simulated mean sits "
-      "slightly below the analytic value)");
-  return results;
+  p.replications = rep.replications;
+  p.seed = rep.seed;
+  return RunHeterogeneousStudy(ctx, p);
 }
 
 // ------------------------------------------------------------------------
@@ -362,13 +113,15 @@ ResultSet RunNetsimHeterogeneous(const ScenarioContext& ctx) {
 // that lifetime is a function of protocol policy.
 ResultSet RunClusterAblation(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
-  netsim::NetSimConfig base = GridConfig(args, 6, 6);
+  const GridStudyParams grid = GridParamsFromArgs(args, 6, 6);
+  netsim::NetSimConfig base = BuildGridConfig(grid);
 
   netsim::NetSimConfig flat = base;  // greedy multi-hop, no clustering
 
   netsim::NetSimConfig leach = base;
-  ApplyClusterFlags(leach, args);
-  leach.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
+  ClusterKnobs knobs = ClusterKnobsFromArgs(args);
+  knobs.protocol = netsim::ClusterProtocolKind::kLeach;
+  ApplyClusterKnobs(leach, knobs);
 
   netsim::NetSimConfig still = leach;
   still.cluster.protocol = netsim::ClusterProtocolKind::kStatic;

@@ -1,39 +1,18 @@
 // Registered fault-injection / chaos scenario (ISSUE 8): a crash-rate x
 // outage-length sweep of the deterministic fault engine, run flat and
 // clustered on the same deployment, with every replication
-// differentially verified against its oracle twin.
-//
-// Each cell runs its replication batch twice:
-//   * production — incremental routing repair (flat) / grid head
-//     assignment (clustered), the paths that apply RepairAfterDeath and
-//     RepairAfterRecovery per fault event;
-//   * oracle     — grid-full Recompute after every event (flat) /
-//     all-pairs head assignment (clustered).
-// The per-replication reports must match field for field (events,
-// packet counters, crash/recovery counts, partition and heal instants);
-// the scenario hard-fails on any divergence, making every run — and the
-// CI chaos job that drives it across a seed matrix — a differential
-// test of the incremental repair paths under churn.  The
-// packet-conservation invariant (generated == delivered + dropped +
-// in-flight) is asserted on every report the same way.
-//
-// All table columns are deterministic (no wall-clock), so two runs with
-// the same flags must produce byte-identical output at any thread
-// count; CI cmp-compares --threads=1 against --threads=4.
-#include <cmath>
-#include <cstdint>
-#include <limits>
+// differentially verified against its oracle twin.  A thin flag-parsing
+// wrapper over RunFaultStudy in scenario/studies.{hpp,cpp} — see that
+// file for the oracle-twin differential design; the spec interpreter
+// (`wsnctl run --file`) drives the same runner.
 #include <string>
 #include <vector>
 
-#include "core/models.hpp"
-#include "netsim/netsim.hpp"
 #include "netsim/replication.hpp"
 #include "scenario/common.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/studies.hpp"
 #include "util/error.hpp"
-#include "util/table.hpp"
-#include "wsn/network.hpp"
 
 namespace wsn::scenario {
 namespace {
@@ -69,207 +48,28 @@ std::vector<double> ParsePositiveCsv(const std::string& csv,
   return values;
 }
 
-/// Near-square grid deployment trimmed to exactly `n` nodes.
-std::vector<node::Position> FaultTopology(std::size_t n, double spacing) {
-  const std::size_t cols = static_cast<std::size_t>(
-      std::ceil(std::sqrt(static_cast<double>(n))));
-  const std::size_t rows = (n + cols - 1) / cols;
-  std::vector<node::Position> positions = node::MakeGrid(cols, rows, spacing);
-  positions.resize(n);
-  return positions;
-}
-
-/// Field-for-field comparison of one replication against its oracle
-/// twin.  Every quantity here is deterministic per (seed, replication),
-/// so any mismatch is a real divergence between the incremental repair
-/// paths and their full-recompute oracle.
-void RequireEqualReports(const netsim::NetSimReport& a,
-                         const netsim::NetSimReport& b,
-                         const std::string& label, std::size_t rep) {
-  const auto fail = [&](const char* what) {
-    throw util::Error("netsim-faults: " + label +
-                      " diverged from its oracle at replication " +
-                      std::to_string(rep) + " (" + what + ")");
-  };
-  if (a.events != b.events) fail("DES events");
-  if (a.packets.generated != b.packets.generated) fail("generated");
-  if (a.packets.delivered != b.packets.delivered) fail("delivered");
-  if (a.packets.forwarded != b.packets.forwarded) fail("forwarded");
-  if (a.packets.retransmissions != b.packets.retransmissions) {
-    fail("retransmissions");
-  }
-  if (a.packets.dropped != b.packets.dropped) fail("drops by reason");
-  if (a.crashes != b.crashes) fail("crashes");
-  if (a.recoveries != b.recoveries) fail("recoveries");
-  if (a.first_death_s != b.first_death_s) fail("first death");
-  if (a.partition_s != b.partition_s) fail("partition instant");
-  if (a.heal_s != b.heal_s) fail("heal instant");
-  if (a.in_flight != b.in_flight) fail("in-flight payloads");
-  if (a.end_s != b.end_s) fail("end instant");
-}
-
-struct CellOutcome {
-  std::uint64_t crashes = 0;     ///< summed over replications
-  std::uint64_t recoveries = 0;  ///< summed over replications
-  std::uint64_t in_flight = 0;   ///< summed over replications
-  std::size_t partitioned = 0;   ///< reps that partitioned
-  std::size_t healed = 0;        ///< reps whose partition healed
-};
-
 ResultSet RunNetsimFaults(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
-  const std::size_t n = args.GetCount("nodes", 144, 2);
-  const double spacing = args.GetDouble("spacing", 15.0);
-  const double hop = args.GetDouble("hop", 40.0);
-  const double rate = args.GetDouble("rate", 0.05);
-  const double horizon = args.GetDouble("horizon", 2000.0);
-  const std::vector<double> crash_rates =
-      ParsePositiveCsv(args.GetString("crash-rates", "0.0002,0.001"),
-                       "crash-rates");
-  const std::vector<double> outages = ParsePositiveCsv(
-      args.GetString("outages", "100,400"), "outages");
-  const std::size_t jam_windows = args.GetCount("jam-windows", 2, 0);
-  const double jam_radius = args.GetDouble("jam-radius", 45.0);
-  const double jam_duration = args.GetDouble("jam-duration", horizon / 10.0);
-  const double jam_p_loss = args.GetDouble("jam-ploss", 0.5);
-  const std::size_t sink_outages = args.GetCount("sink-outages", 1, 0);
-  const double sink_outage_s =
-      args.GetDouble("sink-outage", horizon / 10.0);
-  netsim::ReplicationConfig rep = NetsimRepConfig(args, 4);
-  rep.keep_reports = true;
-
-  ResultSet results(
-      "fault injection: node churn, jam windows and sink outages with "
-      "differential verification of the incremental repair paths");
-  results.SetMeta("nodes", std::to_string(n));
-  results.SetMeta("spacing", util::FormatFixed(spacing, 0) + " m");
-  results.SetMeta("hop", util::FormatFixed(hop, 0) + " m");
-  results.SetMeta("rate", util::FormatFixed(rate, 3) + " /s per node");
-  results.SetMeta("horizon", util::FormatFixed(horizon, 0) + " s");
-  results.SetMeta("jam-windows", std::to_string(jam_windows));
-  results.SetMeta("sink-outages", std::to_string(sink_outages));
-  results.SetMeta("replications", std::to_string(rep.replications));
-  results.SetMeta("seed", std::to_string(rep.seed));
-
-  ResultTable& table = results.AddTable(
-      "faults",
-      {"config", "crash rate (1/s)", "outage (s)", "crashes", "recoveries",
-       "delivery ratio", "delivered", "partitioned", "healed", "in flight",
-       "conserved"});
-
-  const core::MarkovCpuModel model;
-  const auto run_cell = [&](netsim::NetSimConfig cfg,
-                            const std::string& label)
-      -> std::pair<netsim::ReplicationSummary, CellOutcome> {
-    ApplyObs(ctx, cfg);
-    netsim::ReplicationSummary summary =
-        RunReplications(cfg, model, rep, ctx.Executor());
-    ContributeObs(ctx, summary);
-
-    // Oracle twin: identical streams, full recompute after every fault
-    // event.  The oracle batch contributes no observability output —
-    // it exists only to be compared against.
-    netsim::NetSimConfig oracle = cfg;
-    oracle.obs = obs::ObsConfig{};
-    if (oracle.cluster.protocol == netsim::ClusterProtocolKind::kNone) {
-      oracle.routing_update = netsim::RoutingUpdateMode::kFull;
-    } else {
-      oracle.cluster.assign = netsim::HeadAssignMode::kAllPairs;
-    }
-    const netsim::ReplicationSummary shadow =
-        RunReplications(oracle, model, rep, ctx.Executor());
-
-    CellOutcome out;
-    for (std::size_t r = 0; r < summary.reports.size(); ++r) {
-      const netsim::NetSimReport& report = summary.reports[r];
-      RequireEqualReports(report, shadow.reports[r], label, r);
-      if (!report.Conserved()) {
-        throw util::Error(
-            "netsim-faults: " + label +
-            " violated packet conservation at replication " +
-            std::to_string(r) + ": generated " +
-            std::to_string(report.packets.generated) + " != delivered " +
-            std::to_string(report.packets.delivered) + " + dropped " +
-            std::to_string(report.packets.TotalDropped()) + " + in flight " +
-            std::to_string(report.in_flight));
-      }
-      out.crashes += report.crashes;
-      out.recoveries += report.recoveries;
-      out.in_flight += report.in_flight;
-      const double inf = std::numeric_limits<double>::infinity();
-      if (report.partition_s != inf) ++out.partitioned;
-      if (report.heal_s != inf) ++out.healed;
-    }
-    return {std::move(summary), out};
-  };
-
-  for (const double crash_rate : crash_rates) {
-    for (const double outage : outages) {
-      netsim::NetSimConfig cfg;
-      cfg.network.node.cpu.arrival_rate = rate;
-      cfg.network.node.cpu.service_rate = 10.0 * std::max(rate, 0.1);
-      cfg.network.node.cpu_power = energy::Msp430();
-      cfg.network.node.sample_bits = 1024;
-      cfg.network.node.listen_duty_cycle = 0.01;
-      cfg.network.sink = {0.0, 0.0};
-      cfg.network.max_hop_m = hop;
-      cfg.positions = FaultTopology(n, spacing);
-      cfg.horizon_s = horizon;
-      cfg.faults.crash_rate_hz = crash_rate;
-      cfg.faults.mean_outage_s = outage;
-      cfg.faults.jam_windows = jam_windows;
-      cfg.faults.jam_radius_m = jam_radius;
-      cfg.faults.jam_duration_s = jam_duration;
-      cfg.faults.jam_p_loss = jam_p_loss;
-      cfg.faults.sink_outages = sink_outages;
-      cfg.faults.sink_outage_s = sink_outage_s;
-
-      const auto add_row = [&](const std::string& mode,
-                               const netsim::ReplicationSummary& summary,
-                               const CellOutcome& out) {
-        table.AddRow({mode + " r=" + util::FormatFixed(crash_rate, 4) +
-                          " o=" + util::FormatFixed(outage, 0),
-                      util::FormatFixed(crash_rate, 4),
-                      util::FormatFixed(outage, 0),
-                      std::to_string(out.crashes),
-                      std::to_string(out.recoveries),
-                      MetricCell(summary.delivery_ratio, 4),
-                      MetricCell(summary.delivered, 1),
-                      ObservedCell(out.partitioned, summary.replications),
-                      ObservedCell(out.healed, summary.replications),
-                      std::to_string(out.in_flight), "yes"});
-      };
-
-      cfg.routing_update = netsim::RoutingUpdateMode::kIncremental;
-      const auto [flat_sum, flat_out] = run_cell(
-          cfg, "flat r=" + util::FormatFixed(crash_rate, 4) +
-                   " o=" + util::FormatFixed(outage, 0));
-      add_row("flat", flat_sum, flat_out);
-
-      netsim::NetSimConfig ccfg = cfg;
-      ccfg.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
-      ccfg.cluster.head_fraction = 0.1;
-      ccfg.cluster.round_s = horizon / 10.0;
-      ccfg.cluster.aggregation = 4;
-      ccfg.cluster.assign = netsim::HeadAssignMode::kGrid;
-      const auto [clu_sum, clu_out] = run_cell(
-          ccfg, "clustered r=" + util::FormatFixed(crash_rate, 4) +
-                    " o=" + util::FormatFixed(outage, 0));
-      add_row("clustered", clu_sum, clu_out);
-    }
-  }
-
-  results.AddNote(
-      "every replication ran twice: the production paths (incremental "
-      "routing repair / grid head assignment) against their oracle "
-      "(full recompute after every fault event / all-pairs assignment); "
-      "the run aborts on any field divergence or packet-conservation "
-      "violation, so a completed table doubles as a chaos-differential "
-      "pass.  'healed' counts replications whose partition later closed "
-      "when a crashed cut vertex recovered.  All columns are "
-      "deterministic per seed: rerunning with any --threads value must "
-      "produce byte-identical output.");
-  return results;
+  FaultStudyParams p;
+  p.nodes = args.GetCount("nodes", 144, 2);
+  p.spacing_m = args.GetDouble("spacing", 15.0);
+  p.hop_m = args.GetDouble("hop", 40.0);
+  p.rate_hz = args.GetDouble("rate", 0.05);
+  p.horizon_s = args.GetDouble("horizon", 2000.0);
+  p.crash_rates = ParsePositiveCsv(
+      args.GetString("crash-rates", "0.0002,0.001"), "crash-rates");
+  p.outages =
+      ParsePositiveCsv(args.GetString("outages", "100,400"), "outages");
+  p.jam_windows = args.GetCount("jam-windows", 2, 0);
+  p.jam_radius_m = args.GetDouble("jam-radius", 45.0);
+  p.jam_duration_s = args.GetDouble("jam-duration", p.horizon_s / 10.0);
+  p.jam_p_loss = args.GetDouble("jam-ploss", 0.5);
+  p.sink_outages = args.GetCount("sink-outages", 1, 0);
+  p.sink_outage_s = args.GetDouble("sink-outage", p.horizon_s / 10.0);
+  const netsim::ReplicationConfig rep = NetsimRepConfig(args, 4);
+  p.replications = rep.replications;
+  p.seed = rep.seed;
+  return RunFaultStudy(ctx, p);
 }
 
 const ScenarioRegistrar reg_netsim_faults(MakeScenario(

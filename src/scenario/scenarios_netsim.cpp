@@ -1,213 +1,52 @@
 // Registered scenarios for the packet-level network simulator: the
 // lifetime study (deaths, re-routing, partition under bursty traffic)
-// and the replication-throughput benchmark, both thin clients of the
-// scenario executor.
-#include <chrono>
-#include <cmath>
-#include <cstdint>
-#include <memory>
+// and the replication-throughput benchmark.  Thin flag-parsing wrappers
+// over the shared study runners in scenario/studies.{hpp,cpp}, which
+// the declarative spec interpreter (`wsnctl run --file`) drives with
+// the same params — both paths are byte-identical by construction.
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
-#include "core/models.hpp"
-#include "des/bursty_workload.hpp"
 #include "netsim/replication.hpp"
 #include "scenario/common.hpp"
 #include "scenario/scenario.hpp"
-#include "util/table.hpp"
-#include "wsn/network.hpp"
+#include "scenario/studies.hpp"
 
 namespace wsn::scenario {
 namespace {
 
-netsim::NetSimConfig NetConfigFromArgs(const util::CliArgs& args,
-                                       double default_rate,
-                                       double default_spacing,
-                                       std::size_t default_cols,
-                                       std::size_t default_rows) {
-  netsim::NetSimConfig cfg;
-  cfg.network.node.cpu.arrival_rate = args.GetDouble("rate", default_rate);
-  cfg.network.node.cpu.service_rate =
-      10.0 * cfg.network.node.cpu.arrival_rate;
-  cfg.network.node.sample_bits = 1024;
-  cfg.network.node.listen_duty_cycle = 0.01;
-  cfg.network.sink = {0.0, 0.0};
-  cfg.network.max_hop_m = args.GetDouble("hop", 40.0);
-  cfg.positions = node::MakeGrid(args.GetCount("cols", default_cols, 1),
-                                 args.GetCount("rows", default_rows, 1),
-                                 args.GetDouble("spacing", default_spacing));
-  return cfg;
-}
-
-// End-to-end lifetime study (ported from the netsim_demo main): a node
-// grid reporting to a corner sink under bursty (MMPP quiet/storm)
-// traffic, with small batteries so a run exhibits the full arc — node
-// deaths, re-routing around dead relays, and finally partition.
 ResultSet RunNetsimLifetime(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
-  netsim::NetSimConfig cfg = NetConfigFromArgs(args, 2.0, 15.0, 10, 5);
-  cfg.network.node.cpu_power = energy::Msp430();
-  cfg.network.node.battery_mah = args.GetDouble("battery-mah", 0.05);
-  cfg.horizon_s = args.GetDouble("horizon", 4000.0);
-  cfg.stop_at_partition = true;  // measure the connected phase
-  cfg.timeline_interval_s = cfg.horizon_s / 20.0;
-
-  const bool steady = args.GetBool("steady");
-  if (!steady) {
-    // Event-storm traffic: mostly quiet at 20% of the nominal rate, with
-    // occasional bursts at 10x (long-run mean close to the nominal rate).
-    const double rate = cfg.network.node.cpu.arrival_rate;
-    cfg.traffic_factory = [rate](std::size_t) {
-      return std::make_unique<des::MmppWorkload>(
-          std::vector<double>{0.2 * rate, 10.0 * rate},
-          std::vector<std::vector<double>>{{-0.02, 0.02}, {0.2, -0.2}});
-    };
-  }
-
-  netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
-  rep.keep_reports = true;
-  ApplyObs(ctx, cfg);
-
-  const core::MarkovCpuModel model;
-  const netsim::ReplicationSummary summary =
-      RunReplications(cfg, model, rep, ctx.Executor());
-  ContributeObs(ctx, summary);
-
-  ResultSet results("netsim lifetime study: deaths, re-routing, partition");
-  results.SetMeta("nodes", std::to_string(cfg.positions.size()));
-  results.SetMeta("traffic", steady ? "steady Poisson" : "bursty MMPP");
-  results.SetMeta("replications", std::to_string(rep.replications));
-  results.SetMeta("horizon", util::FormatFixed(cfg.horizon_s, 0) + " s");
-  results.SetMeta("seed", std::to_string(rep.seed));
-
-  ResultTable& lifetimes = results.AddTable(
-      "summary", {"metric", "mean +- 95% CI", "observed in"});
-  lifetimes.AddRow({"time to first death (s)",
-                    MetricCell(summary.first_death_s, 1),
-                    ObservedCell(summary.first_death_s.observed,
-                                 summary.replications)});
-  lifetimes.AddRow({"time to partition (s)",
-                    MetricCell(summary.partition_s, 1),
-                    ObservedCell(summary.partition_s.observed,
-                                 summary.replications)});
-  lifetimes.AddRow({"delivery ratio", MetricCell(summary.delivery_ratio, 4),
-                    ObservedCell(summary.replications, summary.replications)});
-  lifetimes.AddRow({"packets delivered", MetricCell(summary.delivered, 1),
-                    ObservedCell(summary.replications, summary.replications)});
-
-  // Zoom into replication 0: the hot path near the sink dies first.
-  const netsim::NetSimReport& rep0 = summary.reports.front();
-  ResultTable& nodes = results.AddTable(
-      "replication-0-nodes", {"node", "pos", "generated", "forwarded",
-                              "dropped", "energy (J)", "death (s)"});
-  std::size_t shown = 0;
-  for (std::size_t i = 0; i < rep0.nodes.size() && shown < 10; ++i) {
-    const netsim::NodeSimStats& n = rep0.nodes[i];
-    if (n.alive && shown >= 5) continue;  // highlight the casualties
-    ++shown;
-    nodes.AddRow({std::to_string(i),
-                  "(" + util::FormatFixed(cfg.positions[i].x, 0) + "," +
-                      util::FormatFixed(cfg.positions[i].y, 0) + ")",
-                  std::to_string(n.generated), std::to_string(n.forwarded),
-                  std::to_string(n.dropped),
-                  util::FormatFixed(n.energy_used_j, 3),
-                  std::isfinite(n.death_s) ? util::FormatFixed(n.death_s, 1)
-                                           : std::string("alive")});
-  }
-
-  ResultTable& drops =
-      results.AddTable("replication-0-drops", {"drop reason", "packets"});
-  for (std::size_t r = 0; r < netsim::kDropReasonCount; ++r) {
-    const auto reason = static_cast<netsim::DropReason>(r);
-    drops.AddRow({netsim::DropReasonName(reason),
-                  std::to_string(rep0.packets.Dropped(reason))});
-  }
-
-  results.AddNote(
-      "replication 0: generated " + std::to_string(rep0.packets.generated) +
-      ", delivered " + std::to_string(rep0.packets.delivered) +
-      ", first death " +
-      (std::isfinite(rep0.first_death_s)
-           ? "at " + util::FormatFixed(rep0.first_death_s, 1) + " s (node " +
-                 std::to_string(rep0.first_dead_node) + ")"
-           : std::string("never")) +
-      ", partition " +
-      (std::isfinite(rep0.partition_s)
-           ? "at " + util::FormatFixed(rep0.partition_s, 1) + " s"
-           : std::string("never")) +
-      ", " + std::to_string(rep0.events) + " events");
-  return results;
+  LifetimeStudyParams p;
+  p.cols = args.GetCount("cols", 10, 1);
+  p.rows = args.GetCount("rows", 5, 1);
+  p.spacing_m = args.GetDouble("spacing", 15.0);
+  p.hop_m = args.GetDouble("hop", 40.0);
+  p.rate_hz = args.GetDouble("rate", 2.0);
+  p.battery_mah = args.GetDouble("battery-mah", 0.05);
+  p.horizon_s = args.GetDouble("horizon", 4000.0);
+  p.steady = args.GetBool("steady");
+  const netsim::ReplicationConfig rep = NetsimRepConfig(args, 8);
+  p.replications = rep.replications;
+  p.seed = rep.seed;
+  return RunLifetimeStudy(ctx, p);
 }
 
-// Replication-throughput benchmark (ported from the bench_netsim main):
-// replications/second single-threaded vs fanned out across the scenario
-// executor, on a node-grid topology.
 ResultSet RunNetsimThroughput(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
-  netsim::NetSimConfig cfg = NetConfigFromArgs(args, 2.0, 25.0, 10, 10);
-  cfg.network.node.cpu_power = energy::Pxa271();
-  cfg.horizon_s = args.GetDouble("horizon", 30.0);
-  // --clustered benchmarks the LEACH data path (elections, aggregation)
-  // instead of flat greedy multi-hop.
-  const bool clustered = args.GetBool("clustered");
-  if (clustered) {
-    cfg.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
-    cfg.cluster.round_s = cfg.horizon_s / 5.0;
-    cfg.cluster.aggregation = 4;
-  }
-
+  ThroughputStudyParams p;
+  p.cols = args.GetCount("cols", 10, 1);
+  p.rows = args.GetCount("rows", 10, 1);
+  p.spacing_m = args.GetDouble("spacing", 25.0);
+  p.hop_m = args.GetDouble("hop", 40.0);
+  p.rate_hz = args.GetDouble("rate", 2.0);
+  p.horizon_s = args.GetDouble("horizon", 30.0);
+  p.clustered = args.GetBool("clustered");
   const netsim::ReplicationConfig rep = NetsimRepConfig(args, 32);
-  const core::MarkovCpuModel model;
-
-  ResultSet results("netsim replication throughput: serial vs executor");
-  results.SetMeta("routing", clustered ? "clustered (leach)" : "flat greedy");
-  results.SetMeta("nodes", std::to_string(cfg.positions.size()));
-  results.SetMeta("horizon", util::FormatFixed(cfg.horizon_s, 0) + " s");
-  results.SetMeta("replications", std::to_string(rep.replications));
-  results.SetMeta("hardware-threads",
-                  std::to_string(std::thread::hardware_concurrency()));
-
-  const auto timed = [&](util::ParallelExecutor& executor) {
-    const auto start = std::chrono::steady_clock::now();
-    const netsim::ReplicationSummary summary =
-        RunReplications(cfg, model, rep, executor);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    return std::make_pair(summary, wall);
-  };
-
-  util::ParallelExecutor serial_exec(1);
-  const auto [serial, serial_s] = timed(serial_exec);
-  // Observe only the executor leg: contributing both legs would double
-  // every counter for what is conceptually one benchmarked workload.
-  ApplyObs(ctx, cfg);
-  const auto [parallel, parallel_s] = timed(ctx.Executor());
-  ContributeObs(ctx, parallel);
-
-  const double reps = static_cast<double>(rep.replications);
-  ResultTable& table = results.AddTable(
-      "throughput", {"mode", "threads", "wall (s)", "replications/s",
-                     "speedup"});
-  table.AddRow({"serial", "1", util::FormatFixed(serial_s, 3),
-                util::FormatFixed(reps / serial_s, 2), "1.00"});
-  table.AddRow({"executor", std::to_string(ctx.Executor().ThreadCount()),
-                util::FormatFixed(parallel_s, 3),
-                util::FormatFixed(reps / parallel_s, 2),
-                util::FormatFixed(serial_s / parallel_s, 2)});
-
-  results.AddNote("checks: delivery ratio " +
-                  util::FormatInterval(serial.delivery_ratio.ci.mean,
-                                       serial.delivery_ratio.ci.half_width,
-                                       4) +
-                  " (serial) vs " +
-                  util::FormatInterval(parallel.delivery_ratio.ci.mean,
-                                       parallel.delivery_ratio.ci.half_width,
-                                       4) +
-                  " (parallel) — identical streams, identical results");
-  return results;
+  p.replications = rep.replications;
+  p.seed = rep.seed;
+  return RunThroughputStudy(ctx, p);
 }
 
 std::vector<util::FlagSpec> TopologyFlags(const std::string& cols,

@@ -1,0 +1,181 @@
+// JSON reader: strict grammar, named path/position-qualified errors,
+// duplicate-key rejection, nesting guard, number overflow, and the
+// NaN/Inf -> null round trip with JsonWriter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wsn::util {
+namespace {
+
+/// Parse `text` expecting failure; returns the exact error message.
+std::string ParseError(const std::string& text,
+                       const JsonReaderOptions& options = {}) {
+  try {
+    ParseJson(text, options);
+  } catch (const InvalidArgument& err) {
+    return err.what();
+  }
+  ADD_FAILURE() << "expected ParseJson to reject: " << text;
+  return "";
+}
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null").is_null());
+  EXPECT_EQ(ParseJson("true").AsBool(), true);
+  EXPECT_EQ(ParseJson("false").AsBool(), false);
+  EXPECT_EQ(ParseJson("42").AsNumber(), 42.0);
+  EXPECT_EQ(ParseJson("-0.5").AsNumber(), -0.5);
+  EXPECT_EQ(ParseJson("1e3").AsNumber(), 1000.0);
+  EXPECT_EQ(ParseJson("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonReader, ParsesNestedContainersPreservingOrder) {
+  const JsonValue doc =
+      ParseJson("{\"b\": [1, 2, {\"c\": true}], \"a\": null}");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.Members().size(), 2u);
+  EXPECT_EQ(doc.Members()[0].first, "b");
+  EXPECT_EQ(doc.Members()[1].first, "a");
+  const JsonValue* b = doc.Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->Items().size(), 3u);
+  EXPECT_EQ(b->Items()[1].AsNumber(), 2.0);
+  const JsonValue* c = b->Items()[2].Find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->AsBool(), true);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonReader, DecodesEscapesIncludingSurrogatePairs) {
+  EXPECT_EQ(ParseJson("\"a\\n\\t\\\"\\\\\\/b\"").AsString(), "a\n\t\"\\/b");
+  EXPECT_EQ(ParseJson("\"\\u00e9\"").AsString(), "\xc3\xa9");          // é
+  EXPECT_EQ(ParseJson("\"\\u20ac\"").AsString(), "\xe2\x82\xac");      // €
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"").AsString(),
+            "\xf0\x9f\x98\x80");                                       // 😀
+}
+
+TEST(JsonReader, EqualityComparesStructurally) {
+  EXPECT_EQ(ParseJson("{\"a\": [1, true]}"), ParseJson("{\"a\":[1,true]}"));
+  EXPECT_NE(ParseJson("{\"a\": 1}"), ParseJson("{\"a\": 2}"));
+  EXPECT_NE(ParseJson("{\"a\": 1}"), ParseJson("{\"b\": 1}"));
+  // Key order is significant: these are different documents.
+  EXPECT_NE(ParseJson("{\"a\": 1, \"b\": 2}"), ParseJson("{\"b\": 2, \"a\": 1}"));
+}
+
+TEST(JsonReader, RejectsDuplicateKeysNamingKeyAndPath) {
+  EXPECT_EQ(ParseError("{\"top\": {\"dup\": 1, \"dup\": 2}}"),
+            "json: duplicate object key 'dup' at line 1 column 25 "
+            "(at $.top)");
+}
+
+TEST(JsonReader, RejectsTrailingGarbage) {
+  EXPECT_EQ(ParseError("{\"a\": 1} extra"),
+            "json: trailing garbage after the document at line 1 column 10 "
+            "(at $)");
+  // A second top-level value is garbage too.
+  EXPECT_EQ(ParseError("1 2"),
+            "json: trailing garbage after the document at line 1 column 3 "
+            "(at $)");
+}
+
+TEST(JsonReader, NanInfPolicyRoundTripsWithWriter) {
+  // The writer serializes non-finite metrics as null; reading that back
+  // yields a null JsonValue, and the literal tokens are rejected with
+  // errors that name the convention.
+  JsonWriter w(0);
+  w.BeginObject()
+      .Key("nan").Number(std::numeric_limits<double>::quiet_NaN())
+      .Key("inf").Number(std::numeric_limits<double>::infinity())
+      .Key("ok").Number(1.5)
+      .EndObject();
+  const JsonValue doc = ParseJson(w.Str());
+  EXPECT_TRUE(doc.Find("nan")->is_null());
+  EXPECT_TRUE(doc.Find("inf")->is_null());
+  EXPECT_EQ(doc.Find("ok")->AsNumber(), 1.5);
+
+  EXPECT_EQ(ParseError("{\"x\": NaN}"),
+            "json: NaN is not valid JSON (JsonWriter serializes it as null) "
+            "at line 1 column 10 (at $.x)");
+  EXPECT_EQ(ParseError("{\"x\": Infinity}"),
+            "json: Infinity is not valid JSON (JsonWriter serializes it as "
+            "null) at line 1 column 15 (at $.x)");
+}
+
+TEST(JsonReader, DeepNestingGuard) {
+  // 64 nested arrays parse with the default cap; 65 are refused.
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_TRUE(ParseJson(ok).is_array());
+
+  std::string deep(65, '[');
+  deep += std::string(65, ']');
+  const std::string err = ParseError(deep);
+  EXPECT_EQ(err.find("json: nesting deeper than 64 levels"), 0u) << err;
+
+  JsonReaderOptions shallow;
+  shallow.max_depth = 2;
+  EXPECT_EQ(ParseError("{\"a\": {\"b\": {\"c\": 1}}}", shallow),
+            "json: nesting deeper than 2 levels at line 1 column 13 "
+            "(at $.a.b)");
+}
+
+TEST(JsonReader, NumberOverflowIsNamed) {
+  EXPECT_EQ(ParseError("{\"big\": 1e999}"),
+            "json: number '1e999' overflows double at line 1 column 14 "
+            "(at $.big)");
+  // Denormal underflow rounds toward zero and is accepted.
+  EXPECT_EQ(ParseJson("1e-999").AsNumber(), 0.0);
+}
+
+TEST(JsonReader, RejectsLooseNumberGrammar) {
+  EXPECT_EQ(ParseError("01"),
+            "json: leading zeros are not allowed in numbers at line 1 "
+            "column 2 (at $)");
+  EXPECT_EQ(ParseError("[1.]"),
+            "json: expected a digit after the decimal point at line 1 "
+            "column 4 (at $[0])");
+  EXPECT_EQ(ParseError("[-]"),
+            "json: expected a digit after '-' at line 1 column 3 (at $[0])");
+  EXPECT_EQ(ParseError("1e"),
+            "json: expected a digit in the exponent at line 1 column 3 "
+            "(at $)");
+}
+
+TEST(JsonReader, RejectsMalformedStrings) {
+  EXPECT_EQ(ParseError("\"unterminated"),
+            "json: unterminated string at line 1 column 14 (at $)");
+  EXPECT_EQ(ParseError("\"bad \\q escape\""),
+            "json: invalid escape '\\q' in string at line 1 column 8 (at $)");
+  EXPECT_EQ(ParseError("\"ctl \n\""),
+            "json: unescaped control character 0x0a in string at line 2 "
+            "column 1 (at $)");
+  EXPECT_EQ(ParseError("\"\\ud800\""),
+            "json: unpaired UTF-16 high surrogate in \\u escape at line 1 "
+            "column 8 (at $)");
+}
+
+TEST(JsonReader, RejectsStructuralErrorsWithPositions) {
+  EXPECT_EQ(ParseError("{\"a\" 1}"),
+            "json: expected ':' after object key at line 1 column 6 "
+            "(at $.a)");
+  EXPECT_EQ(ParseError("[1, 2"),
+            "json: expected ',' or ']' in array at line 1 column 6 (at $)");
+  EXPECT_EQ(ParseError("{\"a\": 1,}"),
+            "json: expected '\"' to start an object key at line 1 column 9 "
+            "(at $)");
+  EXPECT_EQ(ParseError(""),
+            "json: unexpected end of input, expected a value at line 1 "
+            "column 1 (at $)");
+  EXPECT_EQ(ParseError("{\"a\":\n  'x'}"),
+            "json: unexpected character ''' at line 2 column 3 (at $.a)");
+}
+
+}  // namespace
+}  // namespace wsn::util

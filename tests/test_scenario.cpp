@@ -11,8 +11,10 @@
 
 #include "scenario/result.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/spec.hpp"
 #include "util/error.hpp"
 #include "util/executor.hpp"
+#include "util/json.hpp"
 
 namespace wsn::scenario {
 namespace {
@@ -160,6 +162,88 @@ TEST(ScenarioDeterminism, NetsimClusteredOutputPinnedAcrossSoARefactor) {
              1);
   EXPECT_EQ(out.size(), 6246u);
   EXPECT_EQ(Fnv1a64(out), 0x659e0f3c8c3316b5ull);
+}
+
+// Preset round-trip pins (ISSUE 9): every committed preset file under
+// presets/ is the declarative twin of a registered scenario.  Running
+// it through `wsnctl run --file`'s load-and-interpret path must render
+// byte-for-byte what the registry scenario renders, at any thread
+// count.  A mismatch means a preset drifted from its twin (or the spec
+// interpreter stopped sharing the registry's study runners).
+std::string RunPreset(const std::string& name, std::size_t threads) {
+  const char* argv[] = {"test"};
+  const util::CliArgs args(1, argv);
+  util::ParallelExecutor executor(threads);
+  ScenarioContext ctx;
+  ctx.args = &args;
+  ctx.executor = &executor;
+  const ScenarioSpec spec = LoadScenarioSpecFile(
+      std::string(WSN_SOURCE_DIR) + "/presets/" + name + ".json");
+  const ResultSet results = RunSpec(ctx, spec);
+  return results.RenderText() + "\n#####\n" + results.RenderCsv() +
+         "\n#####\n" + results.RenderJson();
+}
+
+TEST(ScenarioPresets, LifetimePresetMatchesRegistryTwin) {
+  const std::string registry = RunAll("netsim-lifetime", {}, 1);
+  EXPECT_EQ(RunPreset("netsim-lifetime", 1), registry);
+  EXPECT_EQ(RunPreset("netsim-lifetime", 4), registry);
+}
+
+TEST(ScenarioPresets, ClusteredPresetMatchesRegistryTwin) {
+  const std::string registry = RunAll("netsim-clustered", {}, 1);
+  EXPECT_EQ(RunPreset("netsim-clustered", 1), registry);
+  EXPECT_EQ(RunPreset("netsim-clustered", 4), registry);
+}
+
+TEST(ScenarioPresets, HeterogeneousPresetMatchesRegistryTwin) {
+  const std::string registry = RunAll("netsim-heterogeneous", {}, 1);
+  EXPECT_EQ(RunPreset("netsim-heterogeneous", 1), registry);
+  EXPECT_EQ(RunPreset("netsim-heterogeneous", 4), registry);
+}
+
+TEST(ScenarioPresets, FaultsPresetMatchesRegistryTwin) {
+  // The preset pins the single-point study: one crash rate, one outage.
+  const std::string registry = RunAll(
+      "netsim-faults", {"--crash-rates=0.001", "--outages=150"}, 1);
+  EXPECT_EQ(RunPreset("netsim-faults", 1), registry);
+  EXPECT_EQ(RunPreset("netsim-faults", 4), registry);
+}
+
+// The throughput scenario measures wall-clock, so its preset cannot be
+// byte-pinned; pin everything except the timing cells instead: scenario
+// name, meta, headers, the mode/threads columns, and the delivery-ratio
+// cross-check note (which proves serial and parallel streams agreed).
+TEST(ScenarioPresets, ThroughputPresetMatchesRegistryTwinStructurally) {
+  const char* argv[] = {"test"};
+  const util::CliArgs args(1, argv);
+  util::ParallelExecutor executor(2);
+  ScenarioContext ctx;
+  ctx.args = &args;
+  ctx.executor = &executor;
+  const ResultSet from_registry = Lookup("netsim-throughput").Run(ctx);
+  const ScenarioSpec spec = LoadScenarioSpecFile(
+      std::string(WSN_SOURCE_DIR) + "/presets/netsim-throughput.json");
+  const ResultSet from_preset = RunSpec(ctx, spec);
+
+  const util::JsonValue a =
+      util::ParseJson(from_registry.Render(OutputFormat::kJson));
+  const util::JsonValue b =
+      util::ParseJson(from_preset.Render(OutputFormat::kJson));
+  EXPECT_EQ(*a.Find("scenario"), *b.Find("scenario"));
+  EXPECT_EQ(*a.Find("meta"), *b.Find("meta"));
+  EXPECT_EQ(*a.Find("notes"), *b.Find("notes"));
+  const auto& ta = a.Find("tables")->Items()[0];
+  const auto& tb = b.Find("tables")->Items()[0];
+  EXPECT_EQ(*ta.Find("headers"), *tb.Find("headers"));
+  const auto& rows_a = ta.Find("rows")->Items();
+  const auto& rows_b = tb.Find("rows")->Items();
+  ASSERT_EQ(rows_a.size(), rows_b.size());
+  for (std::size_t i = 0; i < rows_a.size(); ++i) {
+    // Columns 0..1 are mode and threads; the rest are timing.
+    EXPECT_EQ(rows_a[i].Items()[0], rows_b[i].Items()[0]);
+    EXPECT_EQ(rows_a[i].Items()[1], rows_b[i].Items()[1]);
+  }
 }
 
 TEST(ScenarioRun, RejectsInvalidEffortFlags) {
