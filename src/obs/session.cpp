@@ -1,27 +1,20 @@
 #include "obs/session.hpp"
 
-#include <fstream>
-
 #include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 
 namespace wsn::obs {
 
-namespace {
-
-void WriteFile(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw util::Error("cannot open output file: " + path);
-  out << content;
-  out.flush();
-  if (!out) throw util::Error("failed writing output file: " + path);
-}
-
-}  // namespace
-
 Session::Session(SessionOptions options) : options_(std::move(options)) {
   options_.trace.enabled = TraceEnabled();
   if (options_.trace.enabled) options_.trace.Validate();
+  // Fail on an unwritable destination before the scenario runs, not
+  // after a long sweep has produced the data to write.
+  if (MetricsEnabled()) {
+    util::RequireWritableDir(options_.metrics_path, "--metrics");
+  }
+  if (TraceEnabled()) util::RequireWritableDir(options_.trace_path, "--trace");
 }
 
 ObsConfig Session::MakeConfig() const {
@@ -47,8 +40,12 @@ std::string Session::MetricsJson() const {
 }
 
 void Session::WriteFiles() const {
-  if (MetricsEnabled()) WriteFile(options_.metrics_path, MetricsJson() + "\n");
-  if (TraceEnabled()) WriteFile(options_.trace_path, trace_);
+  // Atomic (tmp + fsync + rename): a crash mid-write never leaves a
+  // truncated half-JSON artifact behind.
+  if (MetricsEnabled()) {
+    util::AtomicWriteFile(options_.metrics_path, MetricsJson() + "\n");
+  }
+  if (TraceEnabled()) util::AtomicWriteFile(options_.trace_path, trace_);
 }
 
 }  // namespace wsn::obs

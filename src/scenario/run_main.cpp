@@ -1,16 +1,26 @@
 #include "scenario/run_main.hpp"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/session.hpp"
+#include "scenario/harness.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/spec.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
+#include "util/subproc.hpp"
 #include "util/table.hpp"
 
 namespace wsn::scenario {
@@ -36,7 +46,99 @@ std::vector<util::FlagSpec> GlobalFlags() {
       {"trace-max", "N", "1000000", "max trace lines per replication"},
       {"log-level", "LVL", "warn",
        "log threshold: debug, info, warn, error or off"},
+      // Sweep-point harness (docs/robustness.md): crash isolation,
+      // deadlines/retry, graceful degradation and the resumable journal.
+      {"isolate", "", "",
+       "run each sweep point in a forked worker process (crash isolation)"},
+      {"deadline", "S", "0",
+       "wall-clock deadline per sweep point in seconds (implies --isolate)"},
+      {"rss-limit", "MB", "0",
+       "address-space cap per worker in MB (implies --isolate)"},
+      {"retries", "N", "0",
+       "retry a failed point up to N times with exponential backoff "
+       "(implies --isolate)"},
+      {"backoff", "S", "0.25",
+       "delay before the first retry; doubles for each further retry"},
+      {"keep-going", "", "",
+       "record exhausted points as explicit error rows and finish the "
+       "sweep (exit code 3) instead of aborting"},
+      {"journal", "PATH", "",
+       "append one fsync'd JSONL record per completed sweep point to PATH"},
+      {"resume", "", "",
+       "replay points already completed in the --journal file instead of "
+       "re-running them"},
   };
+}
+
+HarnessOptions HarnessOptionsFromArgs(const util::CliArgs& args) {
+  HarnessOptions o;
+  o.isolate = args.GetBool("isolate");
+  o.deadline_s = args.GetDouble("deadline", 0.0);
+  o.rss_limit_mb = args.GetCount("rss-limit", 0);
+  o.retries = args.GetCount("retries", 0);
+  o.backoff_s = args.GetDouble("backoff", 0.25);
+  o.keep_going = args.GetBool("keep-going");
+  o.journal_path = args.GetString("journal", "");
+  o.resume = args.GetBool("resume");
+  o.threads = args.GetCount("threads", 0);
+  util::Require(o.deadline_s >= 0.0, "--deadline must be >= 0");
+  util::Require(o.backoff_s >= 0.0, "--backoff must be >= 0");
+  if (o.resume && o.journal_path.empty()) {
+    throw util::InvalidArgument("--resume requires --journal PATH");
+  }
+  return o;
+}
+
+/// A harness is constructed when any of its features is on; otherwise
+/// ctx.harness stays null and studies take the historical AddRow path.
+bool HarnessActive(const HarnessOptions& o) {
+  return o.Isolating() || o.keep_going || !o.journal_path.empty();
+}
+
+/// Flags that select *how* a run executes rather than *what* it
+/// computes.  The journal's run id must be stable across them: a resume
+/// at --threads 4 of a journal written at --threads 1 is legal (and the
+/// byte-identity tests exercise exactly that), as is resuming with a
+/// different --format or deadline.
+bool IsExecutionFlag(const std::string& name) {
+  static const std::set<std::string> kExecutionFlags = {
+      "threads",   "format",      "help",       "metrics", "metrics-timings",
+      "trace",     "trace-nodes", "trace-from", "trace-until", "trace-max",
+      "log-level", "isolate",     "deadline",   "rss-limit",   "retries",
+      "backoff",   "keep-going",  "journal",    "resume",      "file",
+  };
+  return kExecutionFlags.count(name) > 0;
+}
+
+/// 16-hex run id: FNV over the run's identity (`scenario:<name>` or the
+/// spec file's bytes) plus every non-execution flag, so a journal can
+/// only be resumed by the command line that computes the same sweep.
+std::string RunConfigId(const std::string& identity,
+                        const util::CliArgs& args) {
+  std::uint64_t h = util::Fnv1a64(identity);
+  for (const std::string& name : args.FlagNames()) {
+    if (IsExecutionFlag(name)) continue;
+    h = util::Fnv1a64(name + "=" + args.GetString(name, "") + "\n", h);
+  }
+  return util::HexU64(h);
+}
+
+extern "C" void HarnessSignalHandler(int sig) {
+  // Async-signal-safe interruption: reap the in-flight worker so it is
+  // not orphaned, then exit with the conventional 128+signal status.
+  // Journal durability needs no flushing here — every completed record
+  // was already fsync'd when it was appended.
+  util::KillActiveWorker();
+  ::_exit(128 + sig);
+}
+
+void InstallHarnessSignalHandlers() {
+  struct sigaction sa;
+  sa.sa_handler = HarnessSignalHandler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
 }
 
 /// "3,17,42" -> {3, 17, 42}; throws InvalidArgument on junk.
@@ -72,6 +174,74 @@ obs::SessionOptions ObsOptionsFromArgs(const util::CliArgs& args) {
   return options;
 }
 
+/// Shared back half of RunOne/RunSpecFile: construct executor, obs
+/// session and (when any of its features is on) the point harness, run
+/// the scenario/spec, append the harness-errors table, contribute
+/// harness counters, write artifacts and print.  Returns 0, or 3 when
+/// points failed under --keep-going.
+int DriveRun(const util::CliArgs& args, const std::string& run_identity,
+             const std::string& no_metrics_what,
+             const std::string& no_metrics_value,
+             const std::function<ResultSet(const ScenarioContext&)>& run) {
+  const OutputFormat format =
+      ParseOutputFormat(args.GetString("format", "table"));
+  util::ParallelExecutor executor(args.GetCount("threads", 0));
+  obs::Session obs_session(ObsOptionsFromArgs(args));
+  const HarnessOptions harness_options = HarnessOptionsFromArgs(args);
+  std::unique_ptr<PointHarness> harness;
+  if (HarnessActive(harness_options)) {
+    harness = std::make_unique<PointHarness>(
+        harness_options, RunConfigId(run_identity, args), executor);
+    InstallHarnessSignalHandlers();
+  }
+
+  ScenarioContext ctx;
+  ctx.args = &args;
+  ctx.executor = &executor;
+  ctx.obs = obs_session.Enabled() ? &obs_session : nullptr;
+  ctx.harness = harness.get();
+  ResultSet results = run(ctx);
+
+  if (harness != nullptr) {
+    if (!harness->Failures().empty()) {
+      ResultTable& errors = results.AddTable(
+          "harness-errors", {"point", "failure", "attempts", "detail"});
+      for (const PointFailure& f : harness->Failures()) {
+        errors.AddRow({f.point, f.failure, std::to_string(f.attempts),
+                       f.detail});
+      }
+    }
+    const auto counters = harness->Counters();
+    if (obs_session.MetricsEnabled()) {
+      obs::MetricsSnapshot snapshot;
+      snapshot.counters = counters;
+      obs_session.Contribute(snapshot, "");
+    }
+    // Run-dependent by design (a resume replays, a clean run executes),
+    // so this summary goes to stderr, never into the ResultSet — the
+    // rendered output must stay byte-identical either way.
+    (util::LogInfo() << "harness summary")
+        .Kv("executed", counters.at("harness.points.executed"))
+        .Kv("replayed", counters.at("harness.points.replayed"))
+        .Kv("failed", counters.at("harness.points.failed"))
+        .Kv("retries", counters.at("harness.worker.retries"));
+  }
+
+  if (obs_session.MetricsEnabled() && obs_session.Merged().Empty()) {
+    (util::LogWarn() << "scenario contributed no metrics; the --metrics "
+                        "file will hold empty sections")
+        .Kv(no_metrics_what, no_metrics_value);
+  }
+  obs_session.WriteFiles();
+  std::cout << results.Render(format);
+  if (harness != nullptr && !harness->Failures().empty()) {
+    (util::LogError() << "sweep finished with failed points (--keep-going)")
+        .Kv("failed", harness->Failures().size());
+    return 3;
+  }
+  return 0;
+}
+
 std::vector<util::FlagSpec> AllFlags(const Scenario& scenario) {
   std::vector<util::FlagSpec> flags = scenario.Flags();
   for (util::FlagSpec& f : GlobalFlags()) flags.push_back(std::move(f));
@@ -104,24 +274,11 @@ int RunOne(const Scenario& scenario, const util::CliArgs& args,
   }
   util::RequireKnownFlags(args, AllFlags(scenario));
   util::SetLogLevel(util::ParseLogLevel(args.GetString("log-level", "warn")));
-  const OutputFormat format =
-      ParseOutputFormat(args.GetString("format", "table"));
-  util::ParallelExecutor executor(args.GetCount("threads", 0));
-  obs::Session obs_session(ObsOptionsFromArgs(args));
-
-  ScenarioContext ctx;
-  ctx.args = &args;
-  ctx.executor = &executor;
-  ctx.obs = obs_session.Enabled() ? &obs_session : nullptr;
-  const ResultSet results = scenario.Run(ctx);
-  if (obs_session.MetricsEnabled() && obs_session.Merged().Empty()) {
-    (util::LogWarn() << "scenario contributed no metrics; the --metrics "
-                        "file will hold empty sections")
-        .Kv("scenario", scenario.Name());
-  }
-  obs_session.WriteFiles();
-  std::cout << results.Render(format);
-  return 0;
+  return DriveRun(args, "scenario:" + scenario.Name(), "scenario",
+                  scenario.Name(),
+                  [&scenario](const ScenarioContext& ctx) {
+                    return scenario.Run(ctx);
+                  });
 }
 
 /// Run a declarative spec file (`wsnctl run --file exp.json`) with the
@@ -139,25 +296,17 @@ int RunSpecFile(const std::string& path, const util::CliArgs& args) {
   flags.push_back({"file", "PATH", "", "declarative scenario spec to run"});
   util::RequireKnownFlags(args, flags);
   util::SetLogLevel(util::ParseLogLevel(args.GetString("log-level", "warn")));
-  const OutputFormat format =
-      ParseOutputFormat(args.GetString("format", "table"));
   const ScenarioSpec spec = LoadScenarioSpecFile(path);
-  util::ParallelExecutor executor(args.GetCount("threads", 0));
-  obs::Session obs_session(ObsOptionsFromArgs(args));
-
-  ScenarioContext ctx;
-  ctx.args = &args;
-  ctx.executor = &executor;
-  ctx.obs = obs_session.Enabled() ? &obs_session : nullptr;
-  const ResultSet results = RunSpec(ctx, spec);
-  if (obs_session.MetricsEnabled() && obs_session.Merged().Empty()) {
-    (util::LogWarn() << "spec contributed no metrics; the --metrics "
-                        "file will hold empty sections")
-        .Kv("file", path);
-  }
-  obs_session.WriteFiles();
-  std::cout << results.Render(format);
-  return 0;
+  // The journal run id for a --file run hashes the spec *content*, not
+  // the path: moving or renaming the file must not orphan its journal,
+  // while editing a single knob must.
+  std::ifstream spec_in(path, std::ios::binary);
+  std::ostringstream spec_text;
+  spec_text << spec_in.rdbuf();
+  return DriveRun(args, "file:" + spec_text.str(), "file", path,
+                  [&spec](const ScenarioContext& ctx) {
+                    return RunSpec(ctx, spec);
+                  });
 }
 
 int ListScenarios() {

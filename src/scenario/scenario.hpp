@@ -36,6 +36,8 @@ class Session;
 
 namespace wsn::scenario {
 
+class PointHarness;
+
 /// Everything a scenario run receives from the driver: the parsed
 /// command line and the executor to fan independent jobs through.
 struct ScenarioContext {
@@ -45,6 +47,11 @@ struct ScenarioContext {
   /// neither output was requested.  Scenarios that run the network
   /// simulator participate through scenario::ApplyObs/ContributeObs.
   obs::Session* obs = nullptr;
+  /// The sweep-point harness (isolation, deadlines/retry, journal,
+  /// resume), or null when every harness feature is off.  Studies route
+  /// sweep cells through scenario::RunPointRow, which falls back to a
+  /// plain AddRow when this is null — see scenario/harness.hpp.
+  PointHarness* harness = nullptr;
 
   /// The parsed command line (must be set).
   const util::CliArgs& Args() const { return *args; }

@@ -22,8 +22,10 @@
 #include "scenario/scenario.hpp"
 #include "scenario/spec.hpp"
 #include "util/error.hpp"
+#include "util/executor.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/subproc.hpp"
 #include "util/table.hpp"
 
 namespace wsn::scenario {
@@ -184,11 +186,46 @@ std::string GenerateSpecText(util::Rng& rng) {
   return w.Str();
 }
 
+/// The heavy half of one fuzz config: interpret the spec on `executor`,
+/// then on a single-threaded twin, and byte-compare the rendered JSON.
+/// The interpreter asserts conservation and the oracle/analytic checks
+/// inside each run; identical renders pin thread-count determinism.
+void RunDifferential(const ScenarioContext& ctx, const ScenarioSpec& spec,
+                     util::ParallelExecutor& executor, std::size_t index,
+                     const std::string& repro) {
+  ScenarioContext exec_ctx;
+  exec_ctx.args = ctx.args;
+  exec_ctx.executor = &executor;
+  exec_ctx.obs = ctx.obs;
+  ResultSet first = [&] {
+    try {
+      return RunSpec(exec_ctx, spec);
+    } catch (const std::exception& e) {
+      throw util::Error("netsim-fuzz: config " + std::to_string(index) +
+                        " (" + e.what() + "); repro: " + repro);
+    }
+  }();
+  util::ParallelExecutor serial(1);
+  ScenarioContext serial_ctx;
+  serial_ctx.args = ctx.args;
+  serial_ctx.executor = &serial;
+  const ResultSet second = RunSpec(serial_ctx, spec);
+  const std::string first_render = first.Render(OutputFormat::kJson);
+  const std::string second_render = second.Render(OutputFormat::kJson);
+  if (first_render != second_render) {
+    throw util::Error("netsim-fuzz: config " + std::to_string(index) +
+                      " rendered differently on the executor vs a "
+                      "single thread; repro: " + repro);
+  }
+}
+
 ResultSet RunNetsimFuzz(const ScenarioContext& ctx) {
   const util::CliArgs& args = ctx.Args();
   const std::size_t count = args.GetCount("count", 20, 1);
   const std::size_t start = args.GetCount("start", 0);
   const std::uint64_t seed = args.GetCount("seed", 2008);
+  const double config_deadline_s = args.GetDouble("config-deadline", 0.0);
+  util::Require(config_deadline_s >= 0.0, "--config-deadline must be >= 0");
 
   ResultSet results(
       "config fuzz: random valid specs through the differential harness");
@@ -221,29 +258,40 @@ ResultSet RunNetsimFuzz(const ScenarioContext& ctx) {
                         "); repro: " + repro);
     }
 
-    // Interpret on the scenario executor, then on a single-threaded
-    // twin with observability off.  Byte-compare the rendered JSON: the
-    // interpreter asserts conservation and the oracle/analytic checks
-    // inside each run; identical renders pin thread-count determinism.
-    ResultSet first = [&] {
-      try {
-        return RunSpec(ctx, spec);
-      } catch (const std::exception& e) {
-        throw util::Error("netsim-fuzz: config " + std::to_string(index) +
-                          " (" + e.what() + "); repro: " + repro);
+    if (config_deadline_s > 0.0) {
+      // Deadline fence (--config-deadline): the whole differential runs
+      // in a forked worker so a hung config is killed and reported with
+      // the same one-line repro as any other failure, instead of
+      // stalling the entire fuzz sweep (docs/robustness.md).  The
+      // worker builds its own executor — the parent's pool threads do
+      // not survive fork().
+      const std::size_t width = ctx.Executor().ThreadCount();
+      util::WorkerLimits limits;
+      limits.deadline_s = config_deadline_s;
+      const util::WorkerResult result = util::RunInWorker(
+          [&ctx, &spec, index, &repro, width] {
+            util::ParallelExecutor executor(width);
+            ScenarioContext worker_ctx;
+            worker_ctx.args = ctx.args;
+            worker_ctx.executor = &executor;
+            // obs stays off: a forked worker cannot contribute to the
+            // parent's session.
+            RunDifferential(worker_ctx, spec, executor, index, repro);
+            return std::string();
+          },
+          limits);
+      if (!result.Ok()) {
+        std::string what = "netsim-fuzz: config " + std::to_string(index) +
+                           " failed in its worker (" + result.Describe() +
+                           ")";
+        // Exceptions relayed from the child already carry the repro.
+        if (result.detail.find("repro:") == std::string::npos) {
+          what += "; repro: " + repro;
+        }
+        throw util::Error(what);
       }
-    }();
-    util::ParallelExecutor serial(1);
-    ScenarioContext serial_ctx;
-    serial_ctx.args = ctx.args;
-    serial_ctx.executor = &serial;
-    const ResultSet second = RunSpec(serial_ctx, spec);
-    const std::string first_render = first.Render(OutputFormat::kJson);
-    const std::string second_render = second.Render(OutputFormat::kJson);
-    if (first_render != second_render) {
-      throw util::Error("netsim-fuzz: config " + std::to_string(index) +
-                        " rendered differently on the executor vs a "
-                        "single thread; repro: " + repro);
+    } else {
+      RunDifferential(ctx, spec, *ctx.executor, index, repro);
     }
 
     // Shape + effort recap for the table, read back out of the spec.
@@ -284,6 +332,9 @@ const ScenarioRegistrar reg_netsim_fuzz(MakeScenario(
         {"count", "N", "20", "configs to generate and verify (>= 1)"},
         {"start", "N", "0", "first config index (repro: --start=i --count=1)"},
         {"seed", "N", "2008", "master RNG seed (non-negative)"},
+        {"config-deadline", "S", "0",
+         "wall-clock deadline per config in a forked worker; a hang is "
+         "killed and reported with its repro line (0 = off)"},
     },
     RunNetsimFuzz));
 

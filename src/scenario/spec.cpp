@@ -12,6 +12,7 @@
 #include "core/models.hpp"
 #include "des/bursty_workload.hpp"
 #include "scenario/common.hpp"
+#include "scenario/harness.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -952,12 +953,16 @@ ResultSet RunGenericStudy(const ScenarioContext& ctx, const GenericSpec& g) {
   ResultTable& table = results.AddTable("cells", header);
 
   const core::MarkovCpuModel model;
-  for (const SpecCell& cell : cells) {
+  // The whole cell — production run, oracle twin, analytic check and
+  // column formatting — is one sweep point, run (or replayed) through
+  // the point harness; `cctx` may carry a forked worker's executor.
+  const auto run_cell = [&](const ScenarioContext& cctx,
+                            const SpecCell& cell) -> std::vector<std::string> {
     netsim::NetSimConfig cfg = BuildGenericConfig(cell.spec);
-    ApplyObs(ctx, cfg);
+    ApplyObs(cctx, cfg);
     const netsim::ReplicationSummary summary =
-        RunReplications(cfg, model, rep, ctx.Executor());
-    ContributeObs(ctx, summary);
+        RunReplications(cfg, model, rep, cctx.Executor());
+    ContributeObs(cctx, summary);
 
     const std::string where = "spec cell '" + cell.label + "'";
     for (std::size_t r = 0; r < summary.reports.size(); ++r) {
@@ -976,7 +981,7 @@ ResultSet RunGenericStudy(const ScenarioContext& ctx, const GenericSpec& g) {
         oracle.cluster.assign = netsim::HeadAssignMode::kAllPairs;
       }
       const netsim::ReplicationSummary shadow =
-          RunReplications(oracle, model, rep, ctx.Executor());
+          RunReplications(oracle, model, rep, cctx.Executor());
       for (std::size_t r = 0; r < summary.reports.size(); ++r) {
         RequireEqualReports(summary.reports[r], shadow.reports[r], where, r);
       }
@@ -1065,7 +1070,18 @@ ResultSet RunGenericStudy(const ScenarioContext& ctx, const GenericSpec& g) {
                             2) +
           " %");
     }
-    table.AddRow(row);
+    return row;
+  };
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const SpecCell& cell = cells[i];
+    RunPointRow(ctx, table,
+                "cell " + std::to_string(i) + ": " + cell.label, g.seed,
+                cell.label,
+                [&run_cell, &cell](const ScenarioContext& cctx,
+                                   const PointEnv&) {
+                  return run_cell(cctx, cell);
+                });
   }
 
   results.AddNote(

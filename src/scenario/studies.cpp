@@ -11,6 +11,7 @@
 #include "core/models.hpp"
 #include "des/bursty_workload.hpp"
 #include "scenario/common.hpp"
+#include "scenario/harness.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "wsn/network.hpp"
@@ -587,13 +588,17 @@ ResultSet RunFaultStudy(const ScenarioContext& ctx,
        "conserved"});
 
   const core::MarkovCpuModel model;
-  const auto run_cell = [&](netsim::NetSimConfig cfg,
+  // `cctx` rather than the outer ctx: under the point harness each cell
+  // runs in a sub-context whose executor may live inside a forked
+  // worker (scenario/harness.hpp).
+  const auto run_cell = [&](const ScenarioContext& cctx,
+                            netsim::NetSimConfig cfg,
                             const std::string& label)
       -> std::pair<netsim::ReplicationSummary, CellOutcome> {
-    ApplyObs(ctx, cfg);
+    ApplyObs(cctx, cfg);
     netsim::ReplicationSummary summary =
-        RunReplications(cfg, model, rep, ctx.Executor());
-    ContributeObs(ctx, summary);
+        RunReplications(cfg, model, rep, cctx.Executor());
+    ContributeObs(cctx, summary);
 
     // Oracle twin: identical streams, full recompute after every fault
     // event.  The oracle batch contributes no observability output —
@@ -606,7 +611,7 @@ ResultSet RunFaultStudy(const ScenarioContext& ctx,
       oracle.cluster.assign = netsim::HeadAssignMode::kAllPairs;
     }
     const netsim::ReplicationSummary shadow =
-        RunReplications(oracle, model, rep, ctx.Executor());
+        RunReplications(oracle, model, rep, cctx.Executor());
 
     CellOutcome out;
     for (std::size_t r = 0; r < summary.reports.size(); ++r) {
@@ -645,27 +650,34 @@ ResultSet RunFaultStudy(const ScenarioContext& ctx,
       cfg.faults.sink_outages = p.sink_outages;
       cfg.faults.sink_outage_s = sink_outage_s;
 
-      const auto add_row = [&](const std::string& mode,
-                               const netsim::ReplicationSummary& summary,
-                               const CellOutcome& out) {
-        table.AddRow({mode + " r=" + util::FormatFixed(crash_rate, 4) +
-                          " o=" + util::FormatFixed(outage, 0),
-                      util::FormatFixed(crash_rate, 4),
-                      util::FormatFixed(outage, 0),
-                      std::to_string(out.crashes),
-                      std::to_string(out.recoveries),
-                      MetricCell(summary.delivery_ratio, 4),
-                      MetricCell(summary.delivered, 1),
-                      ObservedCell(out.partitioned, summary.replications),
-                      ObservedCell(out.healed, summary.replications),
-                      std::to_string(out.in_flight), "yes"});
+      // One sweep point per (mode, crash rate, outage): each runs (or
+      // replays) through the point harness, with the whole production-
+      // vs-oracle differential inside the point.
+      const auto point_row = [&](const ScenarioContext& cctx,
+                                 netsim::NetSimConfig cell_cfg,
+                                 const std::string& label)
+          -> std::vector<std::string> {
+        const auto [summary, out] = run_cell(cctx, std::move(cell_cfg), label);
+        return {label,
+                util::FormatFixed(crash_rate, 4),
+                util::FormatFixed(outage, 0),
+                std::to_string(out.crashes),
+                std::to_string(out.recoveries),
+                MetricCell(summary.delivery_ratio, 4),
+                MetricCell(summary.delivered, 1),
+                ObservedCell(out.partitioned, summary.replications),
+                ObservedCell(out.healed, summary.replications),
+                std::to_string(out.in_flight),
+                "yes"};
       };
+      const std::string suffix = " r=" + util::FormatFixed(crash_rate, 4) +
+                                 " o=" + util::FormatFixed(outage, 0);
 
       cfg.routing_update = netsim::RoutingUpdateMode::kIncremental;
-      const auto [flat_sum, flat_out] = run_cell(
-          cfg, "flat r=" + util::FormatFixed(crash_rate, 4) +
-                   " o=" + util::FormatFixed(outage, 0));
-      add_row("flat", flat_sum, flat_out);
+      RunPointRow(ctx, table, "faults:flat" + suffix, p.seed, "flat" + suffix,
+                  [&](const ScenarioContext& cctx, const PointEnv&) {
+                    return point_row(cctx, cfg, "flat" + suffix);
+                  });
 
       netsim::NetSimConfig ccfg = cfg;
       ccfg.cluster.protocol = netsim::ClusterProtocolKind::kLeach;
@@ -673,10 +685,11 @@ ResultSet RunFaultStudy(const ScenarioContext& ctx,
       ccfg.cluster.round_s = p.horizon_s / 10.0;
       ccfg.cluster.aggregation = 4;
       ccfg.cluster.assign = netsim::HeadAssignMode::kGrid;
-      const auto [clu_sum, clu_out] = run_cell(
-          ccfg, "clustered r=" + util::FormatFixed(crash_rate, 4) +
-                    " o=" + util::FormatFixed(outage, 0));
-      add_row("clustered", clu_sum, clu_out);
+      RunPointRow(ctx, table, "faults:clustered" + suffix, p.seed,
+                  "clustered" + suffix,
+                  [&](const ScenarioContext& cctx, const PointEnv&) {
+                    return point_row(cctx, ccfg, "clustered" + suffix);
+                  });
     }
   }
 

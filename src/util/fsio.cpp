@@ -1,0 +1,72 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.hpp"
+
+namespace wsn::util {
+
+namespace {
+
+/// write(2) the whole buffer, retrying on EINTR/short writes.
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void RequireWritableDir(const std::string& path, const std::string& what) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    throw InvalidArgument(what + ": output directory '" + dir.string() +
+                          "' does not exist (for '" + path + "')");
+  }
+  if (::access(dir.c_str(), W_OK | X_OK) != 0) {
+    throw InvalidArgument(what + ": output directory '" + dir.string() +
+                          "' is not writable (for '" + path + "')");
+  }
+}
+
+void AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw Error("cannot open output file: " + tmp + " (" +
+                std::strerror(errno) + ")");
+  }
+  const bool wrote = WriteAll(fd, content.data(), content.size());
+  const bool synced = wrote && ::fsync(fd) == 0;
+  const int saved_errno = errno;
+  ::close(fd);
+  if (!wrote || !synced) {
+    ::unlink(tmp.c_str());
+    throw Error("failed writing output file: " + tmp + " (" +
+                std::strerror(saved_errno) + ")");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    throw Error("failed renaming " + tmp + " over " + path + " (" + detail +
+                ")");
+  }
+}
+
+}  // namespace wsn::util

@@ -1,0 +1,28 @@
+/// \file
+/// Crash-safe file output helpers for everything the driver writes
+/// (--metrics, --trace, fuzz repro dumps; the run journal has its own
+/// append+fsync discipline in scenario/harness.cpp).
+///
+/// Policy: artifacts are written to `PATH.tmp`, fsync'd, then renamed
+/// over `PATH`, so a crash at any instant leaves either the previous
+/// complete file or the new complete file — never a truncated JSON
+/// document.  Output directories are validated up front with an error
+/// naming the flag, so a bad --metrics path fails before a multi-hour
+/// sweep runs instead of after it.
+#pragma once
+
+#include <string>
+
+namespace wsn::util {
+
+/// Throw InvalidArgument("<what>: output directory '...' ...") unless
+/// the directory that `path` will be created in exists and is writable.
+/// `what` names the flag for the error message (e.g. "--metrics").
+void RequireWritableDir(const std::string& path, const std::string& what);
+
+/// Write `content` to `path` atomically: `path`.tmp + fsync + rename.
+/// Throws util::Error naming `path` on any I/O failure (the temp file
+/// is removed on the failure path).
+void AtomicWriteFile(const std::string& path, const std::string& content);
+
+}  // namespace wsn::util

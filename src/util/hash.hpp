@@ -1,0 +1,47 @@
+// FNV-1a 64-bit hashing, shared by the run journal (record/payload
+// hashes, run-config ids), the subprocess result framing and the test
+// pins.  Header-only: the algorithm is four lines and every user wants
+// it inlined.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wsn::util {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over the bytes of `s`.
+inline std::uint64_t Fnv1a64(const std::string& s,
+                             std::uint64_t h = kFnvOffset) noexcept {
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Mix one integer into an FNV-1a state (for composite keys).
+inline std::uint64_t Fnv1a64Mix(std::uint64_t value,
+                                std::uint64_t h = kFnvOffset) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex rendering ("0000a1b2c3d4e5f6") — the
+/// journal's run-id / payload-hash format.
+inline std::string HexU64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xfu];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace wsn::util

@@ -1,0 +1,326 @@
+#include "util/subproc.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <new>
+#include <sstream>
+#include <thread>
+
+#include "util/hash.hpp"
+
+namespace wsn::util {
+
+namespace {
+
+// Result frame on the child->parent pipe:
+//   "WSNR" | status byte ('P' payload / 'E' error detail)
+//   | u64 LE payload length | payload bytes | u64 LE FNV-1a(payload)
+constexpr char kFrameMagic[4] = {'W', 'S', 'N', 'R'};
+constexpr int kExitException = 112;  // child threw; detail in 'E' frame
+constexpr int kExitOom = 113;        // child caught std::bad_alloc
+
+// Pid of the worker the parent is currently awaiting; 0 = none.  Signal
+// handlers read it via KillActiveWorker(), hence the bare atomic.
+std::atomic<pid_t> g_active_worker{0};
+
+bool WriteAllFd(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void PutU64Le(std::uint64_t v, char out[8]) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint64_t GetU64Le(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Child side: emit one framed message.  Failure is ignored — if the
+/// parent is gone there is nobody left to tell.
+void ChildWriteFrame(int fd, char status, const std::string& payload) {
+  char header[13];
+  std::memcpy(header, kFrameMagic, 4);
+  header[4] = status;
+  PutU64Le(payload.size(), header + 5);
+  char footer[8];
+  PutU64Le(Fnv1a64(payload), footer);
+  (void)(WriteAllFd(fd, header, sizeof header) &&
+         WriteAllFd(fd, payload.data(), payload.size()) &&
+         WriteAllFd(fd, footer, sizeof footer));
+}
+
+[[noreturn]] void RunChild(int write_fd, const std::function<std::string()>& fn,
+                           const WorkerLimits& limits) {
+  // The child must not inherit the parent's interactive-interrupt
+  // handling: a Ctrl-C must look like a plain signal death to the
+  // classifier, and a dead parent must not SIGPIPE-kill us mid-frame.
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGPIPE, SIG_IGN);
+  if (limits.rss_limit_mb > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = rl.rlim_max =
+        static_cast<rlim_t>(limits.rss_limit_mb) * 1024u * 1024u;
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  try {
+    const std::string payload = fn();
+    ChildWriteFrame(write_fd, 'P', payload);
+    ::_exit(0);
+  } catch (const std::bad_alloc&) {
+    ::_exit(kExitOom);
+  } catch (const std::exception& e) {
+    ChildWriteFrame(write_fd, 'E', e.what());
+    ::_exit(kExitException);
+  } catch (...) {
+    ChildWriteFrame(write_fd, 'E', "unknown exception");
+    ::_exit(kExitException);
+  }
+}
+
+std::string FormatSeconds(double s) {
+  std::ostringstream out;
+  out.precision(3);
+  out << s;
+  return out.str();
+}
+
+/// Parse and validate one result frame out of the raw pipe bytes.
+/// Returns false (with a reason in `detail`) on any corruption.
+bool ParseFrame(const std::string& raw, char* status, std::string* payload,
+                std::string* detail) {
+  if (raw.size() < 21 || std::memcmp(raw.data(), kFrameMagic, 4) != 0) {
+    *detail = "result frame missing or bad magic (" +
+              std::to_string(raw.size()) + " bytes on pipe)";
+    return false;
+  }
+  *status = raw[4];
+  const std::uint64_t length = GetU64Le(raw.data() + 5);
+  if (raw.size() != 21 + length) {
+    *detail = "result frame truncated: header promises " +
+              std::to_string(length) + " payload bytes, pipe carried " +
+              std::to_string(raw.size() - 21);
+    return false;
+  }
+  *payload = raw.substr(13, length);
+  const std::uint64_t want = GetU64Le(raw.data() + 13 + length);
+  const std::uint64_t got = Fnv1a64(*payload);
+  if (want != got) {
+    *detail = "result frame checksum mismatch (want " + HexU64(want) +
+              ", got " + HexU64(got) + ")";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* WorkerFailureName(WorkerFailure failure) noexcept {
+  switch (failure) {
+    case WorkerFailure::kNone: return "none";
+    case WorkerFailure::kSignal: return "signal";
+    case WorkerFailure::kNonZeroExit: return "nonzero-exit";
+    case WorkerFailure::kTimeout: return "timeout";
+    case WorkerFailure::kOom: return "oom";
+    case WorkerFailure::kMalformedResult: return "malformed-result";
+  }
+  return "unknown";
+}
+
+std::string WorkerResult::Describe() const {
+  std::string out = WorkerFailureName(failure);
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+std::vector<double> BackoffSchedule(const RetryPolicy& policy) {
+  std::vector<double> delays;
+  if (policy.max_attempts <= 1) return delays;
+  double delay = policy.base_backoff_s;
+  for (std::size_t i = 0; i + 1 < policy.max_attempts; ++i) {
+    delays.push_back(delay);
+    delay *= policy.backoff_growth;
+  }
+  return delays;
+}
+
+WorkerResult RunInWorker(const std::function<std::string()>& fn,
+                         const WorkerLimits& limits) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw Error(std::string("worker sandbox: pipe() failed (") +
+                std::strerror(errno) + ")");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw Error("worker sandbox: fork() failed (" + detail + ")");
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    RunChild(fds[1], fn, limits);  // never returns
+  }
+  ::close(fds[1]);
+  g_active_worker.store(pid, std::memory_order_relaxed);
+
+  const auto start = std::chrono::steady_clock::now();
+  const bool has_deadline = limits.deadline_s > 0.0;
+  bool timed_out = false;
+  std::string raw;
+  bool pipe_open = true;
+  char buf[4096];
+  // Drain the pipe while watching the clock.  After EOF we keep the
+  // loop alive (poll on nothing, WNOHANG below via the time check) so a
+  // child that closed its pipe and then hung still trips the deadline.
+  int exit_status = 0;
+  bool reaped = false;
+  for (;;) {
+    double remaining_ms = 50.0;
+    if (has_deadline) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      remaining_ms = (limits.deadline_s - elapsed) * 1000.0;
+      if (remaining_ms <= 0.0) {
+        timed_out = true;
+        ::kill(pid, SIGKILL);
+        break;
+      }
+      if (remaining_ms > 50.0) remaining_ms = 50.0;
+    }
+    if (pipe_open) {
+      struct pollfd pfd{fds[0], POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(remaining_ms) + 1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (rc > 0) {
+        const ssize_t n = ::read(fds[0], buf, sizeof buf);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          pipe_open = false;
+        } else if (n == 0) {
+          pipe_open = false;
+        } else {
+          raw.append(buf, static_cast<std::size_t>(n));
+        }
+      }
+    } else {
+      // Pipe closed: child is wrapping up (or hung).  Reap without
+      // blocking so the deadline check above stays live.
+      const pid_t w = ::waitpid(pid, &exit_status, WNOHANG);
+      if (w == pid) {
+        reaped = true;
+        break;
+      }
+      if (w < 0 && errno != EINTR) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  ::close(fds[0]);
+  if (!reaped) {
+    while (::waitpid(pid, &exit_status, 0) < 0 && errno == EINTR) {
+    }
+  }
+  g_active_worker.store(0, std::memory_order_relaxed);
+
+  WorkerResult result;
+  if (timed_out) {
+    result.failure = WorkerFailure::kTimeout;
+    result.detail =
+        "exceeded " + FormatSeconds(limits.deadline_s) + " s wall-clock deadline";
+    return result;
+  }
+  if (WIFSIGNALED(exit_status)) {
+    result.failure = WorkerFailure::kSignal;
+    result.term_signal = WTERMSIG(exit_status);
+    result.detail = std::string("terminated by signal ") +
+                    std::to_string(result.term_signal) + " (" +
+                    ::strsignal(result.term_signal) + ")";
+    return result;
+  }
+  result.exit_code = WIFEXITED(exit_status) ? WEXITSTATUS(exit_status) : -1;
+  char status = 0;
+  std::string payload;
+  std::string frame_detail;
+  const bool frame_ok = ParseFrame(raw, &status, &payload, &frame_detail);
+  if (result.exit_code == kExitOom) {
+    result.failure = WorkerFailure::kOom;
+    result.detail = "worker hit its address-space limit";
+    if (limits.rss_limit_mb > 0) {
+      result.detail += " (" + std::to_string(limits.rss_limit_mb) + " MB)";
+    }
+    return result;
+  }
+  if (result.exit_code != 0) {
+    result.failure = WorkerFailure::kNonZeroExit;
+    result.detail = "exit code " + std::to_string(result.exit_code);
+    if (frame_ok && status == 'E' && !payload.empty()) {
+      result.detail += ": " + payload;
+    }
+    return result;
+  }
+  if (!frame_ok || status != 'P') {
+    result.failure = WorkerFailure::kMalformedResult;
+    result.detail = frame_ok ? std::string("unexpected frame status byte")
+                             : frame_detail;
+    return result;
+  }
+  result.payload = std::move(payload);
+  return result;
+}
+
+WorkerResult RunWithRetry(
+    const std::function<std::string(std::size_t)>& fn,
+    const WorkerLimits& limits, const RetryPolicy& policy,
+    const std::function<void(std::size_t, const WorkerResult&)>& on_failure) {
+  const std::vector<double> delays = BackoffSchedule(policy);
+  const std::size_t attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  WorkerResult result;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    result = RunInWorker([&fn, attempt] { return fn(attempt); }, limits);
+    if (result.Ok()) return result;
+    if (on_failure) on_failure(attempt, result);
+    if (attempt + 1 < attempts && policy.sleep) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(delays[attempt]));
+    }
+  }
+  return result;
+}
+
+void KillActiveWorker() noexcept {
+  const pid_t pid = g_active_worker.load(std::memory_order_relaxed);
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+}  // namespace wsn::util

@@ -1,0 +1,119 @@
+/// \file
+/// Fork-based worker sandboxing for crash-isolated sweep points.
+///
+/// RunInWorker forks a child, runs a callable there, and ships its
+/// std::string result back over a pipe in a length- and FNV-checksummed
+/// frame.  The parent enforces a wall-clock deadline (SIGKILL on
+/// overrun) and an optional address-space limit (RLIMIT_AS in the
+/// child), and classifies every way a worker can fail into a structured
+/// taxonomy:
+///
+///   | failure          | cause                                          |
+///   |------------------|------------------------------------------------|
+///   | signal           | child terminated by a signal (crash, SIGKILL)  |
+///   | nonzero-exit     | child exited != 0 (incl. a relayed exception)  |
+///   | timeout          | child outlived the wall-clock deadline         |
+///   | oom              | child hit the RSS limit (std::bad_alloc)       |
+///   | malformed-result | exit 0 but a truncated/corrupt result frame    |
+///
+/// RunWithRetry layers an exponential-backoff retry policy on top; the
+/// schedule is a pure function (BackoffSchedule) so tests can pin it
+/// without sleeping.  The child pid currently being awaited is exported
+/// through KillActiveWorker() so SIGINT/SIGTERM handlers can reap it
+/// (async-signal-safe) before exiting.
+///
+/// See docs/robustness.md for how the scenario harness maps this
+/// taxonomy onto retries, --keep-going error rows and obs counters.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wsn::util {
+
+/// How a sandboxed worker failed (kNone = it did not).
+enum class WorkerFailure {
+  kNone = 0,
+  kSignal,           ///< terminated by a signal (SIGSEGV, SIGKILL, ...)
+  kNonZeroExit,      ///< exited with a nonzero status
+  kTimeout,          ///< killed by the parent for outliving its deadline
+  kOom,              ///< exhausted its address-space limit (std::bad_alloc)
+  kMalformedResult,  ///< exited 0 but the result frame failed validation
+};
+
+/// Stable lowercase name ("signal", "nonzero-exit", "timeout", "oom",
+/// "malformed-result", "none") — journal records and error rows use it.
+const char* WorkerFailureName(WorkerFailure failure) noexcept;
+
+/// util::Error carrying the taxonomy code — what a sweep aborts with
+/// when a point exhausts its attempts without --keep-going.
+class WorkerError : public Error {
+ public:
+  WorkerError(WorkerFailure failure, const std::string& what)
+      : Error(what), failure_(failure) {}
+  WorkerFailure Failure() const noexcept { return failure_; }
+
+ private:
+  WorkerFailure failure_;
+};
+
+/// Resource fence around one worker.
+struct WorkerLimits {
+  double deadline_s = 0.0;       ///< wall-clock deadline (0 = none)
+  std::size_t rss_limit_mb = 0;  ///< address-space cap in MB (0 = none)
+};
+
+/// Outcome of one worker attempt.
+struct WorkerResult {
+  WorkerFailure failure = WorkerFailure::kNone;
+  std::string payload;  ///< the callable's return value (failure == kNone)
+  std::string detail;   ///< human-readable failure description otherwise
+  int exit_code = 0;    ///< child exit status (when it exited)
+  int term_signal = 0;  ///< terminating signal (when failure == kSignal)
+
+  bool Ok() const noexcept { return failure == WorkerFailure::kNone; }
+  /// "timeout: exceeded 2.0 s wall-clock deadline" — taxonomy name plus
+  /// detail, for error rows and logs.
+  std::string Describe() const;
+};
+
+/// Exponential-backoff retry policy.  max_attempts counts the first try:
+/// max_attempts = 3 means up to 2 retries.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;
+  double base_backoff_s = 0.25;  ///< delay before the first retry
+  double backoff_growth = 2.0;   ///< delay multiplier per further retry
+  bool sleep = true;             ///< tests disable the actual sleeping
+};
+
+/// The exact delays slept between attempts: max_attempts - 1 entries,
+/// delay[i] = base * growth^i.  Pure — this IS the schedule RunWithRetry
+/// follows, pinned by tests/test_subproc.cpp.
+std::vector<double> BackoffSchedule(const RetryPolicy& policy);
+
+/// Run `fn` in a forked child under `limits`; never throws on worker
+/// failure — inspect result.failure.  Throws util::Error only when the
+/// sandbox itself cannot be set up (fork/pipe failure).
+WorkerResult RunInWorker(const std::function<std::string()>& fn,
+                         const WorkerLimits& limits);
+
+/// Run `fn(attempt)` (attempt = 0, 1, ...) in a fresh worker until one
+/// attempt succeeds or the policy is exhausted; returns the last
+/// result.  `on_failure(attempt, result)` fires after every failed
+/// attempt (retried or not) so callers can count and log.
+WorkerResult RunWithRetry(
+    const std::function<std::string(std::size_t)>& fn,
+    const WorkerLimits& limits, const RetryPolicy& policy,
+    const std::function<void(std::size_t, const WorkerResult&)>& on_failure =
+        {});
+
+/// SIGKILL the worker currently being awaited, if any.  Async-signal-
+/// safe — this is what SIGINT/SIGTERM handlers call so an interrupted
+/// sweep never leaves an orphan worker burning CPU.
+void KillActiveWorker() noexcept;
+
+}  // namespace wsn::util
